@@ -1,0 +1,154 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Nearly every figure in the paper is a CDF (Figs. 2, 3, 8, 9, 10, 13, 14).
+//! [`Cdf`] stores the sorted sample and answers both directions of lookup:
+//! `F(x)` (fraction ≤ x) and the quantile `F⁻¹(q)`.
+
+use crate::stats::percentile_of_sorted;
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build a CDF from a sample. Panics on empty input or NaN values — an
+    /// empty CDF has no meaning in any experiment.
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        assert!(!xs.is_empty(), "Cdf of empty sample");
+        assert!(xs.iter().all(|x| !x.is_nan()), "NaN in Cdf input");
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: xs }
+    }
+
+    /// Build from a borrowed slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        Self::new(xs.to_vec())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point: count of elements <= x.
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile lookup with linear interpolation, `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        percentile_of_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Median of the sample.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Minimum of the sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum of the sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// The underlying sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Render the CDF as `(x, F(x))` points on an `n_points`-step quantile
+    /// grid (plus the exact min and max), ready to be written as a CSV
+    /// series and plotted.
+    pub fn points(&self, n_points: usize) -> Vec<(f64, f64)> {
+        assert!(n_points >= 2, "need at least 2 CDF points");
+        (0..n_points)
+            .map(|i| {
+                let q = i as f64 / (n_points - 1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// CSV rendering: `x,cdf` header plus one row per point.
+    pub fn to_csv(&self, n_points: usize) -> String {
+        let mut out = String::from("x,cdf\n");
+        for (x, q) in self.points(n_points) {
+            out.push_str(&format!("{x:.6},{q:.6}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_step_behaviour() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.5), 0.5);
+        assert_eq!(c.eval(4.0), 1.0);
+        assert_eq!(c.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let c = Cdf::new(xs);
+        assert_eq!(c.quantile(0.0), 0.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert!((c.quantile(0.5) - 50.0).abs() < 1e-9);
+        assert!((c.median() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let c = Cdf::new(vec![5.0, 5.0, 5.0, 10.0]);
+        assert_eq!(c.eval(5.0), 0.75);
+        assert_eq!(c.eval(4.9), 0.0);
+    }
+
+    #[test]
+    fn points_monotone() {
+        let c = Cdf::new(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let pts = c.points(20);
+        assert_eq!(pts.len(), 20);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0, "x must be non-decreasing");
+            assert!(w[1].1 >= w[0].1, "q must be non-decreasing");
+        }
+        assert_eq!(pts[0].0, c.min());
+        assert_eq!(pts.last().unwrap().0, c.max());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let c = Cdf::new(vec![1.0, 2.0]);
+        let csv = c.to_csv(3);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "x,cdf");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "Cdf of empty sample")]
+    fn empty_panics() {
+        Cdf::new(vec![]);
+    }
+}

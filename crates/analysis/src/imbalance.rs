@@ -1,0 +1,83 @@
+//! Load-imbalance metrics.
+//!
+//! §4.3 quantifies imbalance three ways and this module implements each:
+//! * the max/min gap across machines or sites, normalized to the smallest
+//!   (Fig. 11: "all numbers are normalized to the smallest one", gaps up to
+//!   19.8× across machines and 731× across sites);
+//! * the P95/P5 gap across the VMs of one app (Fig. 13a: "the 95th-percentile
+//!   divided by the 5th-percentile of the mean CPU usage of all its VMs");
+//! * the P95/P5 sales-rate skew across sites (§4.1, "about 5× higher").
+
+use crate::stats::percentile;
+
+/// Values divided by the smallest positive value, the normalization used by
+/// Fig. 11. Non-positive entries are first clamped to `floor` so the ratio
+/// stays finite (a machine with zero traffic still appears as a bar).
+pub fn normalized_to_min(xs: &[f64], floor: f64) -> Vec<f64> {
+    assert!(floor > 0.0, "floor must be positive");
+    let clamped: Vec<f64> = xs.iter().map(|&x| x.max(floor)).collect();
+    let min = clamped.iter().cloned().fold(f64::INFINITY, f64::min);
+    clamped.iter().map(|&x| x / min).collect()
+}
+
+/// Max/min gap ratio after clamping to `floor`. `gap_max_min(xs, f)` is the
+/// largest entry of [`normalized_to_min`].
+pub fn gap_max_min(xs: &[f64], floor: f64) -> f64 {
+    let norm = normalized_to_min(xs, floor);
+    norm.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// P95/P5 gap ratio (Fig. 13a / §4.1 definition). Values are clamped to
+/// `floor` before the ratio so an idle 5th percentile cannot divide by zero.
+pub fn gap_p95_p5(xs: &[f64], floor: f64) -> f64 {
+    assert!(floor > 0.0, "floor must be positive");
+    assert!(!xs.is_empty(), "gap of empty slice");
+    let p95 = percentile(xs, 95.0).max(floor);
+    let p5 = percentile(xs, 5.0).max(floor);
+    p95 / p5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_basic() {
+        let n = normalized_to_min(&[2.0, 4.0, 8.0], 0.1);
+        assert_eq!(n, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn normalize_clamps_zero() {
+        let n = normalized_to_min(&[0.0, 1.0], 0.5);
+        assert_eq!(n, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_max_min_basic() {
+        assert_eq!(gap_max_min(&[1.0, 5.0, 19.8], 0.1), 19.8);
+        assert_eq!(gap_max_min(&[7.0], 0.1), 1.0);
+    }
+
+    #[test]
+    fn gap_p95_p5_uniform_is_one() {
+        let xs = vec![3.0; 50];
+        assert_eq!(gap_p95_p5(&xs, 0.01), 1.0);
+    }
+
+    #[test]
+    fn gap_p95_p5_spread() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let g = gap_p95_p5(&xs, 0.01);
+        // p95 ≈ 95.05, p5 ≈ 5.95 → ratio ≈ 16
+        assert!(g > 15.0 && g < 17.0, "gap {g}");
+    }
+
+    #[test]
+    fn gap_floor_prevents_infinity() {
+        let xs = vec![0.0, 0.0, 0.0, 100.0];
+        let g = gap_p95_p5(&xs, 0.1);
+        assert!(g.is_finite());
+        assert!(g > 1.0);
+    }
+}

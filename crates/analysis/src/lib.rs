@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # edgescope-analysis
+//!
+//! Statistics toolkit used by every EdgeScope experiment: descriptive
+//! statistics, empirical CDFs, percentiles, Pearson correlation, histograms,
+//! seasonality strength, load-imbalance metrics, and plain-text/CSV table
+//! rendering.
+//!
+//! The paper ("From Cloud to Edge", IMC'21) reports almost every result as a
+//! CDF, a median, a coefficient of variation, a Pearson correlation, or a
+//! P95/P5 gap ratio; this crate is the single home for those estimators so
+//! all experiments compute them identically.
+//!
+//! ## Implemented
+//! * mean / variance (population & sample) / std-dev / coefficient of
+//!   variation ([`stats`])
+//! * percentiles with linear interpolation, medians ([`stats::percentile`])
+//! * empirical CDFs with quantile lookup and fixed-grid evaluation ([`cdf`])
+//! * Pearson correlation coefficient ([`pearson`](mod@crate::pearson))
+//! * fixed-bin histograms ([`histogram`])
+//! * seasonal-strength estimator after Wang, Smith & Hyndman (2006), the
+//!   metric the paper cites for "seasonality" in §4.4 ([`seasonality`])
+//! * OLS linear regression (Fig. 4's RTT-vs-distance slope) ([`regression`])
+//! * percentile-bootstrap confidence intervals ([`bootstrap`])
+//! * imbalance/gap metrics (max/min, P95/P5) used in §4.3 ([`imbalance`])
+//! * time-series helpers: windowed max/mean resampling, rolling means
+//!   ([`timeseries`])
+//! * aligned text tables and CSV rendering ([`table`])
+//!
+//! ## Intentionally omitted
+//! * No plotting — experiments emit CSV series that plot in any tool.
+//! * No incremental/streaming estimators — campaign result sets comfortably
+//!   fit in memory.
+
+pub mod bootstrap;
+pub mod cdf;
+pub mod histogram;
+pub mod imbalance;
+pub mod pearson;
+pub mod regression;
+pub mod seasonality;
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+
+pub use bootstrap::{bootstrap_ci, median_ci, ConfidenceInterval};
+pub use cdf::Cdf;
+pub use histogram::Histogram;
+pub use imbalance::{gap_max_min, gap_p95_p5, normalized_to_min};
+pub use pearson::pearson;
+pub use regression::{linear_fit, LinearFit};
+pub use seasonality::seasonal_strength;
+pub use stats::{coefficient_of_variation, mean, median, percentile, rmse, std_dev, Summary};
+pub use table::{Table, TableAlign};
+pub use timeseries::{resample_max, resample_mean, rolling_mean};

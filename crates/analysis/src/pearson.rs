@@ -1,0 +1,85 @@
+//! Pearson correlation coefficient.
+//!
+//! §3.2 (Fig. 5) uses Pearson's r between geographic distance and measured
+//! TCP throughput to show when the last-mile, not the Internet path, is the
+//! bottleneck (|r| < 0.2 for WiFi/LTE; |r| > 0.7 for 5G downlink / wired).
+
+/// Pearson correlation coefficient between two equal-length samples,
+/// in `[-1, 1]`.
+///
+/// Returns 0.0 when either sample has zero variance (a constant series is
+/// uncorrelated with everything, which matches how the paper interprets
+/// capacity-capped throughput). Panics on length mismatch or fewer than two
+/// points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    assert!(xs.len() >= 2, "pearson needs at least 2 points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_is_zero() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded() {
+        let xs = [1.0, -2.0, 3.5, 0.0, 9.0, -4.0];
+        let ys = [0.2, 7.0, -1.0, 3.3, 2.0, 8.0];
+        let r = pearson(&xs, &ys);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn known_value() {
+        // Anscombe's first quartet: r ≈ 0.8164.
+        let xs = [10.0, 8.0, 13.0, 9.0, 11.0, 14.0, 6.0, 4.0, 12.0, 7.0, 5.0];
+        let ys = [
+            8.04, 6.95, 7.58, 8.81, 8.33, 9.96, 7.24, 4.26, 10.84, 4.82, 5.68,
+        ];
+        assert!((pearson(&xs, &ys) - 0.8164).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,255 @@
+//! Descriptive statistics: mean, variance, std-dev, coefficient of
+//! variation, interpolated percentiles, and RMSE.
+//!
+//! All functions accept `&[f64]` and treat an empty slice as a programmer
+//! error only where a value cannot be defined (documented per function);
+//! they never panic on NaN-free finite input.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice (the campaigns in this
+/// workspace aggregate per-user means where an empty probe set means "no
+/// contribution", so zero is the neutral choice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divide by `n`). Returns 0.0 for fewer than two
+/// samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divide by `n - 1`). Returns 0.0 for fewer than two
+/// samples.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation (std-dev / mean), the paper's jitter metric
+/// (§3.1, Fig. 2b) and usage-variance metric (§4.2, Fig. 10b).
+///
+/// Returns 0.0 when the mean is zero (an all-zero series has no variation).
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    std_dev(xs) / m
+}
+
+/// Linearly-interpolated percentile, `p` in `[0, 100]`.
+///
+/// Uses the "linear interpolation between closest ranks" definition
+/// (NumPy's default). Panics on an empty slice — a percentile of nothing is
+/// meaningless and always indicates an upstream bug.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile p out of range: {p}");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// Same as [`percentile`] but assumes `sorted` is already ascending.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Root-mean-square error between predictions and observations.
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "rmse length mismatch");
+    assert!(!predicted.is_empty(), "rmse of empty slices");
+    let se: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    (se / predicted.len() as f64).sqrt()
+}
+
+/// A one-pass summary of a sample: count, mean, std-dev, min, median, max,
+/// and selected percentiles. Used by experiment reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Panics on an empty slice.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "Summary::of empty slice");
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
+        Summary {
+            count: sorted.len(),
+            mean: mean(&sorted),
+            std_dev: std_dev(&sorted),
+            min: sorted[0],
+            p5: percentile_of_sorted(&sorted, 5.0),
+            p25: percentile_of_sorted(&sorted, 25.0),
+            median: percentile_of_sorted(&sorted, 50.0),
+            p75: percentile_of_sorted(&sorted, 75.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+            max: *sorted.last().unwrap(),
+        }
+    }
+
+    /// Coefficient of variation of the summarized sample.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        // Var([2,4,4,4,5,5,7,9]) = 4 (population), std = 2 — classic example.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_variance_uses_n_minus_1() {
+        let xs = [1.0, 3.0];
+        assert!((sample_variance(&xs) - 2.0).abs() < 1e-12);
+        assert!((variance(&xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_degenerate() {
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn cv_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((coefficient_of_variation(&xs) - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_zero_mean() {
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+        // Rank 0.25 * 3 = 0.75 → 10 + 0.75 * 10 = 17.5
+        assert!((percentile(&xs, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [40.0, 10.0, 30.0, 20.0];
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+    }
+
+    #[test]
+    fn percentile_single() {
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty slice")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn rmse_known() {
+        let p = [1.0, 2.0, 3.0];
+        let a = [1.0, 2.0, 5.0];
+        assert!((rmse(&p, &a) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let xs: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-9);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!(s.p95 > s.p75 && s.p75 > s.p25 && s.p25 > s.p5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Ablation benches for the design choices DESIGN.md calls out, plus the
+//! §5 extension systems: scheduling policies head-to-head, migration
+//! budgets, serverless keep-alive, placement-policy weights, and the
+//! series generator with/without per-day amplitude jitter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgescope_bench::{bench_scenario, BENCH_SEED};
+use edgescope_core::platform::deployment::Deployment;
+use edgescope_core::platform::placement::{PlacementPolicy, Scope, SubscriptionRequest};
+use edgescope_core::platform::resources::VmSpec;
+use edgescope_core::sched::elastic::{evaluate, ElasticConfig};
+use edgescope_core::sched::gslb::SchedulingPolicy;
+use edgescope_core::sched::requests::DemandModel;
+use edgescope_core::sched::simulate::{simulate_day, SimConfig};
+use edgescope_core::trace::app::AppCategory;
+use edgescope_core::trace::flavor::FlavorParams;
+use edgescope_core::trace::series::{TraceConfig, VmProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scheduling_policies(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let demand = DemandModel::new(&mut rng, AppCategory::LiveStreaming, 60_000.0, 0.8);
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("ext_gslb");
+    g.sample_size(10);
+    for policy in [
+        SchedulingPolicy::NearestSite,
+        SchedulingPolicy::RoundRobinNearest(8),
+        SchedulingPolicy::LoadAware(8),
+        SchedulingPolicy::DelayConstrained { budget_ms: 5.0 },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+                    simulate_day(&mut rng, &scenario.nep, &demand, policy, &cfg)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_serverless_keepalive(c: &mut Criterion) {
+    let demand: Vec<f64> = (0..30 * 96)
+        .map(|i| {
+            let h = (i % 96) as f64 / 4.0;
+            if (9.0..12.0).contains(&h) { 50_000.0 } else { 2_000.0 }
+        })
+        .collect();
+    let mut g = c.benchmark_group("ext_elastic");
+    for keepalive in [0usize, 2, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(keepalive), &keepalive, |b, &k| {
+            let cfg = ElasticConfig { keepalive_intervals: k, ..Default::default() };
+            b.iter(|| evaluate(&demand, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_placement_weights(c: &mut Criterion) {
+    // The §2 policy weights sales ratio and observed utilization equally;
+    // ablate the extremes.
+    let mut g = c.benchmark_group("placement_weights");
+    g.sample_size(10);
+    for (label, w_sales, w_util) in [
+        ("sales-only", 1.0, 0.0),
+        ("paper-5050", 0.5, 0.5),
+        ("util-only", 0.0, 1.0),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(w_sales, w_util), |b, &(ws, wu)| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+                let mut dep = Deployment::nep_custom(&mut rng, 20, 10, 30);
+                let policy = PlacementPolicy { w_sales: ws, w_util: wu };
+                let mut next = 0;
+                let req = SubscriptionRequest {
+                    scope: Scope::Anywhere,
+                    count: 200,
+                    spec: VmSpec::new(8, 32, 100, 50.0),
+                };
+                policy.place(&mut dep, &req, &mut next).expect("fits")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_day_amplitude_jitter(c: &mut Criterion) {
+    // The seasonality-calibration knob: generation cost with and without
+    // per-day amplitude jitter.
+    let cfg = TraceConfig { days: 14, cpu_interval_min: 5, bw_interval_min: 15, start_weekday: 0 };
+    let mut g = c.benchmark_group("series_day_jitter");
+    for (label, cv) in [("off", 0.0), ("paper", 0.55)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cv, |b, &cv| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+                let mut p = VmProfile::draw(
+                    &mut rng,
+                    &FlavorParams::edge_nep(),
+                    AppCategory::LiveStreaming,
+                    8.0,
+                    100.0,
+                );
+                p.day_amp_cv = cv;
+                p.cpu_series(&mut rng, &cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduling_policies,
+    bench_serverless_keepalive,
+    bench_placement_weights,
+    bench_day_amplitude_jitter
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benches regenerating Table 1 (density) and Table 3 (cost comparison),
+//! plus the billing engines themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgescope_bench::bench_scenario;
+use edgescope_core::billing::bill::{cloud_network_month, nep_network_month};
+use edgescope_core::billing::tariff::{CloudTariff, NepTariff, NetworkModel, Operator};
+use edgescope_core::experiments::workload_study::WorkloadStudy;
+use edgescope_core::experiments::{table1, table3};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("regenerate", |b| b.iter(table1::run));
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let study = WorkloadStudy::run(&scenario);
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| table3::run(&scenario, &study)));
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // One month of 5-minute samples with an evening bump.
+    let bw: Vec<f64> = (0..288 * 30)
+        .map(|i| {
+            let h = (i % 288) as f64 / 12.0;
+            if (19.0..23.0).contains(&h) { 240.0 } else { 90.0 }
+        })
+        .collect();
+    let nep = NepTariff::paper();
+    let ali = CloudTariff::alicloud();
+    let mut g = c.benchmark_group("table3_micro");
+    g.bench_function("nep_month", |b| {
+        b.iter(|| nep_network_month(&nep, &bw, 5, "Guangzhou", Operator::Telecom))
+    });
+    g.bench_function("cloud_on_demand_month", |b| {
+        b.iter(|| cloud_network_month(&ali, NetworkModel::OnDemandByBandwidth, &bw, 5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table3, bench_engines);
+criterion_main!(benches);

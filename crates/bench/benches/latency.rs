@@ -1,0 +1,53 @@
+//! Benches regenerating the latency artefacts: Fig. 2(a/b), Table 2,
+//! Fig. 3 (one shared campaign) and Fig. 4 (inter-site scan).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgescope_bench::bench_scenario;
+use edgescope_core::experiments::latency_study::LatencyStudy;
+use edgescope_core::experiments::{fig2, fig3, fig4, table2};
+
+fn bench_campaign(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("latency_study", |b| {
+        b.iter(|| LatencyStudy::run(&scenario))
+    });
+    g.finish();
+}
+
+fn bench_artefacts(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let study = LatencyStudy::run(&scenario);
+
+    let mut g = c.benchmark_group("fig2a");
+    g.sample_size(20);
+    g.bench_function("regenerate", |b| b.iter(|| fig2::run_a(&study)));
+    g.finish();
+
+    let mut g = c.benchmark_group("fig2b");
+    g.sample_size(20);
+    g.bench_function("regenerate", |b| b.iter(|| fig2::run_b(&study)));
+    g.finish();
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+    g.bench_function("regenerate", |b| b.iter(|| table2::run(&study)));
+    g.finish();
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(20);
+    g.bench_function("regenerate", |b| b.iter(|| fig3::run(&study)));
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| fig4::run(&scenario)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_artefacts, bench_fig4);
+criterion_main!(benches);

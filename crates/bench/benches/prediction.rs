@@ -1,0 +1,47 @@
+//! Benches regenerating Fig. 14 and the predictors it compares.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgescope_bench::bench_scenario;
+use edgescope_core::experiments::workload_study::WorkloadStudy;
+use edgescope_core::experiments::fig14;
+use edgescope_core::predict::holt_winters::HoltWinters;
+use edgescope_core::predict::lstm::{Lstm, LstmConfig};
+
+fn bench_fig14(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let study = WorkloadStudy::run(&scenario);
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| fig14::run(&scenario, &study)));
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    // A synthetic seasonal series: 8 days of half-hour windows.
+    let xs: Vec<f64> = (0..48 * 8)
+        .map(|i| 30.0 + 15.0 * (2.0 * std::f64::consts::PI * i as f64 / 48.0).sin())
+        .collect();
+    let (train, test) = (&xs[..48 * 6], &xs[48 * 6..]);
+
+    let mut g = c.benchmark_group("fig14_micro");
+    g.sample_size(20);
+    g.bench_function("holt_winters_fit_forecast", |b| {
+        b.iter(|| {
+            let mut hw = HoltWinters::fit(train, 0.3, 0.05, 0.3, 48);
+            hw.forecast_online(test)
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("lstm_train_forecast", |b| {
+        b.iter(|| {
+            let cfg = LstmConfig { epochs: 1, stride: 4, lookback: 12, ..Default::default() };
+            let mut m = Lstm::new(cfg);
+            m.train(train);
+            m.forecast_online(train, test)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig14, bench_models);
+criterion_main!(benches);

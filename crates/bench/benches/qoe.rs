@@ -1,0 +1,39 @@
+//! Benches regenerating the QoE artefacts (Fig. 6, Fig. 7, Table 6) and
+//! the per-sample pipeline costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgescope_bench::{bench_scenario, BENCH_SEED};
+use edgescope_core::experiments::{fig6, fig7, table6};
+use edgescope_core::qoe::gaming::GamingPipeline;
+use edgescope_core::qoe::link::LinkProfile;
+use edgescope_core::qoe::streaming::StreamingPipeline;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_artefacts(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    for (name, f) in [
+        ("fig6", fig6::run as fn(&edgescope_core::Scenario) -> edgescope_core::ExperimentReport),
+        ("fig7", fig7::run),
+        ("table6", table6::run),
+    ] {
+        let mut g = c.benchmark_group(name);
+        g.sample_size(10);
+        g.bench_function("regenerate", |b| b.iter(|| f(&scenario)));
+        g.finish();
+    }
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let link = LinkProfile::with_rtt(11.4, 60.0);
+    let gaming = GamingPipeline::paper_default();
+    let streaming = StreamingPipeline::paper_default();
+    let mut g = c.benchmark_group("qoe_micro");
+    g.bench_function("gaming_sample", |b| b.iter(|| gaming.sample(&mut rng, &link)));
+    g.bench_function("streaming_sample", |b| b.iter(|| streaming.sample(&mut rng, &link)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_artefacts, bench_pipelines);
+criterion_main!(benches);

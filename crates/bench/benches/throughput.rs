@@ -1,0 +1,37 @@
+//! Bench regenerating Fig. 5 (the iPerf campaign) plus micro-benches of
+//! the TCP engine it is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgescope_bench::{bench_scenario, BENCH_SEED};
+use edgescope_core::experiments::fig5;
+use edgescope_core::net::access::AccessNetwork;
+use edgescope_core::net::path::{PathModel, TargetClass};
+use edgescope_core::net::tcp::ThroughputModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig5(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| fig5::run(&scenario)));
+    g.finish();
+}
+
+fn bench_iperf(c: &mut Criterion) {
+    let model = PathModel::paper_default();
+    let tcp = ThroughputModel::paper_default();
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let path = model.ue_path(&mut rng, AccessNetwork::FiveG, 800.0, TargetClass::EdgeSite);
+    let mut g = c.benchmark_group("fig5_micro");
+    g.bench_function("iperf_15s", |b| {
+        b.iter(|| tcp.iperf(&mut rng, &path, 640.0, 15))
+    });
+    g.bench_function("mathis_capacity", |b| {
+        b.iter(|| tcp.internet_capacity_mbps(&path))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5, bench_iperf);
+criterion_main!(benches);

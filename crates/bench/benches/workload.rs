@@ -1,0 +1,39 @@
+//! Benches regenerating the workload artefacts (Fig. 8–13 and the §4.1
+//! sales rates) from one shared trace, plus trace-generation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgescope_bench::bench_scenario;
+use edgescope_core::experiments::workload_study::WorkloadStudy;
+use edgescope_core::experiments::{fig10, fig11, fig12, fig13, fig8, fig9, sales_rate};
+
+fn bench_generation(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(10);
+    g.bench_function("nep_and_azure", |b| b.iter(|| WorkloadStudy::run(&scenario)));
+    g.finish();
+}
+
+fn bench_artefacts(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let study = WorkloadStudy::run(&scenario);
+    type Runner = fn(&WorkloadStudy) -> edgescope_core::ExperimentReport;
+    let artefacts: [(&str, Runner); 7] = [
+        ("fig8", fig8::run),
+        ("fig9", fig9::run),
+        ("sales", sales_rate::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+    ];
+    for (name, f) in artefacts {
+        let mut g = c.benchmark_group(name);
+        g.sample_size(10);
+        g.bench_function("regenerate", |b| b.iter(|| f(&study)));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_generation, bench_artefacts);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! # edgescope-bench
+//!
+//! Criterion benchmarks that regenerate every table and figure of the
+//! paper, grouped by subsystem:
+//!
+//! | bench target | paper artefacts |
+//! |---|---|
+//! | `latency` | Fig. 2(a), Fig. 2(b), Table 2, Fig. 3, Fig. 4 |
+//! | `throughput` | Fig. 5 |
+//! | `qoe` | Fig. 6, Fig. 7, Table 6 |
+//! | `workload` | Fig. 8, Fig. 9, sales rates (§4.1), Fig. 10, Fig. 11, Fig. 12, Fig. 13 |
+//! | `prediction` | Fig. 14 |
+//! | `billing` | Table 1, Table 3 |
+//!
+//! Each criterion group is named after its artefact (`fig2a`, `table3`, …)
+//! so `cargo bench -p edgescope-bench fig2a` regenerates exactly one.
+//! Benchmarks run at reduced scale; the absolute regeneration numbers for
+//! EXPERIMENTS.md come from the `reproduce` binary at `EDGESCOPE_SCALE=paper`.
+
+/// The fixed seed all benches use, so criterion compares like with like.
+pub const BENCH_SEED: u64 = 0xbe7c;
+
+/// A quick-scale scenario shared by the benches.
+pub fn bench_scenario() -> edgescope_core::Scenario {
+    edgescope_core::Scenario::new(edgescope_core::Scale::Quick, BENCH_SEED)
+}

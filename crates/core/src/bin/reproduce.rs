@@ -1,0 +1,53 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! EDGESCOPE_SCALE=quick|default|paper EDGESCOPE_SEED=42 \
+//!     cargo run --release -p edgescope-core --bin reproduce [results_dir]
+//! ```
+//!
+//! Prints every experiment's tables to stdout and writes the CSV series
+//! under `results_dir` (default `results/`).
+
+use edgescope_core::experiments::run_all;
+use edgescope_core::scenario::{Scale, Scenario};
+use std::path::PathBuf;
+
+fn main() {
+    let scale = std::env::var("EDGESCOPE_SCALE")
+        .ok()
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Default);
+    let seed = std::env::var("EDGESCOPE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let out_dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "results".into()).into();
+
+    eprintln!("edgescope reproduce: scale {scale:?}, seed {seed}, output {out_dir:?}");
+    let t0 = std::time::Instant::now();
+    let scenario = Scenario::new(scale, seed);
+    let reports = run_all(&scenario);
+    for r in &reports {
+        println!("{}", r.render());
+        match r.save_csv(&out_dir) {
+            Ok(files) => {
+                if !files.is_empty() {
+                    eprintln!("[{}] wrote {} csv files", r.id, files.len());
+                }
+            }
+            Err(e) => eprintln!("[{}] csv write failed: {e}", r.id),
+        }
+    }
+    let html = edgescope_core::report::render_html_page("EdgeScope reproduction", &reports);
+    match std::fs::create_dir_all(&out_dir)
+        .and_then(|_| std::fs::write(out_dir.join("index.html"), html))
+    {
+        Ok(()) => eprintln!("wrote {}", out_dir.join("index.html").display()),
+        Err(e) => eprintln!("html write failed: {e}"),
+    }
+    eprintln!(
+        "done: {} experiments in {:.1}s",
+        reports.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

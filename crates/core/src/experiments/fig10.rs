@@ -1,0 +1,83 @@
+//! Fig. 10: per-VM CPU utilization (a) and its across-time variance (b),
+//! NEP vs. Azure.
+
+use super::workload_study::WorkloadStudy;
+use crate::report::ExperimentReport;
+use edgescope_analysis::cdf::Cdf;
+use edgescope_analysis::stats::{mean, median};
+use edgescope_analysis::table::Table;
+
+/// Regenerate Fig. 10: mean-utilization CDFs, the P95-max curve, and the
+/// CV-over-time CDF.
+pub fn run(study: &WorkloadStudy) -> ExperimentReport {
+    let mut report = ExperimentReport::new("fig10", "CPU utilization: NEP vs Azure");
+    let mut t = Table::new(
+        "(a) per-VM CPU utilization",
+        &["platform", "mean of means", "VMs <10% mean", "median P95-max"],
+    );
+    let mut tcv = Table::new("(b) CPU CV across time", &["platform", "median CV", "mean CV"]);
+    for (name, ds) in [("NEP", &study.nep), ("Azure", &study.azure)] {
+        let means = ds.mean_cpu_per_vm();
+        let p95s = ds.p95_cpu_per_vm();
+        let cvs = ds.cpu_cv_per_vm();
+        let under10 = means.iter().filter(|&&x| x < 10.0).count() as f64 / means.len() as f64;
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}%", mean(&means)),
+            format!("{:.0}%", 100.0 * under10),
+            format!("{:.1}%", median(&p95s)),
+        ]);
+        tcv.row(vec![
+            name.to_string(),
+            format!("{:.2}", median(&cvs)),
+            format!("{:.2}", mean(&cvs)),
+        ]);
+        report.csv.push((format!("{}_mean_cpu_cdf", name.to_lowercase()), Cdf::new(means).to_csv(50)));
+        report.csv.push((format!("{}_p95max_cpu_cdf", name.to_lowercase()), Cdf::new(p95s).to_csv(50)));
+        report.csv.push((format!("{}_cpu_cv_cdf", name.to_lowercase()), Cdf::new(cvs).to_csv(50)));
+    }
+    report.tables.push(t);
+    report.tables.push(tcv);
+    report.notes.push(
+        "paper: 74% of NEP VMs <10% mean CPU vs 47% on Azure; mean usage ~6x lower on NEP; CV medians 0.48 vs 0.24".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::workload_study::WorkloadStudy;
+    #[allow(unused_imports)]
+    use crate::scenario::{Scale, Scenario};
+
+    #[test]
+    fn nep_idler_and_more_variable() {
+        // The idle/busy mixture is an app-level draw (an app's VMs
+        // correlate), so per-VM shares need a few hundred apps to
+        // stabilize — build a dedicated larger population with short
+        // series instead of the quick scenario's 40 apps.
+        use edgescope_trace::dataset::TraceDataset;
+        use edgescope_trace::series::TraceConfig;
+        let cfg = TraceConfig { days: 4, cpu_interval_min: 20, bw_interval_min: 60, start_weekday: 0 };
+        let (nep, nep_deployment) = TraceDataset::generate_nep(16, 40, 250, cfg.clone());
+        let azure = TraceDataset::generate_azure(17, 10, 250, cfg);
+        let study = WorkloadStudy { nep, nep_deployment, azure };
+        let nep_means = study.nep.mean_cpu_per_vm();
+        let az_means = study.azure.mean_cpu_per_vm();
+        let frac = |xs: &[f64]| xs.iter().filter(|&&x| x < 10.0).count() as f64 / xs.len() as f64;
+        assert!(
+            frac(&nep_means) > frac(&az_means) + 0.1,
+            "NEP {:.2} vs Azure {:.2}",
+            frac(&nep_means),
+            frac(&az_means)
+        );
+        assert!(mean(&az_means) > 2.0 * mean(&nep_means), "utilization gap");
+        let nep_cv = median(&study.nep.cpu_cv_per_vm());
+        let az_cv = median(&study.azure.cpu_cv_per_vm());
+        assert!(nep_cv > 1.4 * az_cv, "CV gap: NEP {nep_cv:.2} vs Azure {az_cv:.2}");
+        let r = run(&study);
+        assert_eq!(r.tables.len(), 2);
+        assert_eq!(r.csv.len(), 6);
+    }
+}

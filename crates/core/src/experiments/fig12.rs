@@ -1,0 +1,89 @@
+//! Fig. 12: weekly-averaged bandwidth of four VMs over the trace — two
+//! drifting erratically, two stable.
+
+use super::workload_study::WorkloadStudy;
+use crate::report::{kv_csv, ExperimentReport};
+use edgescope_analysis::table::Table;
+use edgescope_analysis::timeseries::resample_mean;
+
+/// Weekly-average a VM's bandwidth series.
+fn weekly(ds: &edgescope_trace::dataset::TraceDataset, vm_idx: usize) -> Vec<f64> {
+    let per_week = 7 * 24 * 60 / ds.config.bw_interval_min;
+    let xs: Vec<f64> = ds.series[vm_idx].bw_mbps.iter().map(|&v| v as f64).collect();
+    resample_mean(&xs, per_week)
+}
+
+/// Drift score: max/min of the weekly averages.
+fn drift_score(weekly: &[f64]) -> f64 {
+    let max = weekly.iter().cloned().fold(f64::MIN, f64::max);
+    let min = weekly.iter().cloned().fold(f64::MAX, f64::min).max(1e-6);
+    max / min
+}
+
+/// Regenerate Fig. 12: pick the two most and two least drifting VMs with
+/// non-trivial traffic, and emit their weekly series.
+pub fn run(study: &WorkloadStudy) -> ExperimentReport {
+    let mut report = ExperimentReport::new("fig12", "Weekly-averaged bandwidth of 4 VMs");
+    let ds = &study.nep;
+    let means = ds.mean_bw_per_vm();
+    let mut scored: Vec<(usize, f64)> = (0..ds.n_vms())
+        .filter(|&i| means[i] > 1.0)
+        .map(|i| (i, drift_score(&weekly(ds, i))))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    assert!(scored.len() >= 4, "too few active VMs ({})", scored.len());
+    let picks = [
+        scored[0].0,
+        scored[1].0,
+        scored[scored.len() - 2].0,
+        scored[scored.len() - 1].0,
+    ];
+
+    let mut t = Table::new(
+        "selected VMs",
+        &["vm", "kind", "weekly max/min", "mean Mbps"],
+    );
+    for (k, &i) in picks.iter().enumerate() {
+        let w = weekly(ds, i);
+        let kind = if k < 2 { "erratic" } else { "stable" };
+        t.row(vec![
+            format!("VM-{}", k + 1),
+            kind.to_string(),
+            format!("{:.1}x", drift_score(&w)),
+            format!("{:.1}", means[i]),
+        ]);
+        let rows: Vec<(String, f64)> = w
+            .iter()
+            .enumerate()
+            .map(|(wk, &v)| (format!("{wk}"), v))
+            .collect();
+        report.csv.push((format!("vm{}_weekly_bw", k + 1), kv_csv(("week", "mbps"), &rows)));
+    }
+    report.tables.push(t);
+    report.notes.push(
+        "paper: for 2 of 4 sampled VMs the weekly-averaged bandwidth varies dramatically and unpredictably".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::workload_study::WorkloadStudy;
+    use crate::scenario::{Scale, Scenario};
+
+    #[test]
+    fn erratic_vms_drift_more_than_stable() {
+        let scenario = Scenario::new(Scale::Quick, 18);
+        let study = WorkloadStudy::run(&scenario);
+        let r = run(&study);
+        assert_eq!(r.csv.len(), 4);
+        // Row 0 (most erratic) must out-drift row 3 (most stable).
+        let parse = |row: usize| -> f64 {
+            let rendered = r.tables[0].to_csv();
+            let line = rendered.lines().nth(row + 1).unwrap();
+            line.split(',').nth(2).unwrap().trim_end_matches('x').parse().unwrap()
+        };
+        assert!(parse(0) > parse(3), "erratic {} vs stable {}", parse(0), parse(3));
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared crowd-campaign state for fig2 / table2 / fig3.
+
+use crate::scenario::Scenario;
+use edgescope_probe::latency::{LatencyCampaign, LatencyConfig};
+
+/// The campaign, run once per scenario.
+pub struct LatencyStudy {
+    /// The campaign results.
+    pub campaign: LatencyCampaign,
+}
+
+impl LatencyStudy {
+    /// Run the full crowd campaign of the scenario.
+    pub fn run(scenario: &Scenario) -> Self {
+        let mut rng = scenario.rng(0x1a7e);
+        let campaign = LatencyCampaign::run(
+            &mut rng,
+            &scenario.users,
+            &scenario.path_model,
+            &scenario.nep,
+            &scenario.alicloud,
+            &LatencyConfig { pings_per_target: scenario.sizing.pings_per_target },
+        );
+        LatencyStudy { campaign }
+    }
+}

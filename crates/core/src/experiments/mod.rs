@@ -1,0 +1,101 @@
+//! One module per paper artefact, plus shared study state.
+//!
+//! The latency experiments (fig2/table2/fig3) share one crowd campaign
+//! ([`latency_study::LatencyStudy`]); the workload experiments (fig8–
+//! fig14, table3, sales) share one pair of traces
+//! ([`workload_study::WorkloadStudy`]). [`run_all`] builds both once and
+//! regenerates every artefact in paper order.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod ext_billing;
+pub mod ext_elastic;
+pub mod ext_fragmentation;
+pub mod ext_framesim;
+pub mod ext_gslb;
+pub mod ext_migration;
+pub mod ext_predictive;
+pub mod ext_predictors;
+pub mod fig9;
+pub mod latency_study;
+pub mod sales_rate;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod workload_study;
+
+use crate::report::ExperimentReport;
+use crate::scenario::Scenario;
+
+/// Run every experiment at the scenario's scale, in paper order.
+pub fn run_all(scenario: &Scenario) -> Vec<ExperimentReport> {
+    let latency = latency_study::LatencyStudy::run(scenario);
+    let workload = workload_study::WorkloadStudy::run(scenario);
+    vec![
+        table1::run(),
+        fig2::run_a(&latency),
+        fig2::run_b(&latency),
+        table2::run(&latency),
+        fig3::run(&latency),
+        fig4::run(scenario),
+        fig5::run(scenario),
+        fig6::run(scenario),
+        fig7::run(scenario),
+        table6::run(scenario),
+        fig8::run(&workload),
+        fig9::run(&workload),
+        sales_rate::run(&workload),
+        fig10::run(&workload),
+        fig11::run(&workload),
+        fig12::run(&workload),
+        fig13::run(&workload),
+        fig14::run(scenario, &workload),
+        table3::run(scenario, &workload),
+        table4::run(),
+        table5::run(),
+        ext_gslb::run(scenario),
+        ext_migration::run(&workload),
+        ext_elastic::run(scenario),
+        ext_predictive::run(scenario),
+        ext_predictors::run(scenario, &workload),
+        ext_fragmentation::run(scenario),
+        ext_billing::run(scenario, &workload),
+        ext_framesim::run(scenario),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scale;
+
+    #[test]
+    fn run_all_produces_every_artefact() {
+        let scenario = Scenario::new(Scale::Quick, 42);
+        let reports = run_all(&scenario);
+        let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
+        for want in [
+            "table1", "fig2a", "fig2b", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "table6", "fig8", "fig9", "sales", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "table3", "table4", "table5", "ext_gslb", "ext_migration", "ext_elastic", "ext_predictive", "ext_predictors", "ext_fragmentation", "ext_billing", "ext_framesim",
+        ] {
+            assert!(ids.contains(&want), "missing {want}; got {ids:?}");
+        }
+        for r in &reports {
+            assert!(!r.render().is_empty());
+        }
+    }
+}

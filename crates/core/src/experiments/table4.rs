@@ -1,0 +1,118 @@
+//! Table 4 (Appendix B): the public workload traces the paper surveyed
+//! and why Azure 2019 is the head-to-head cloud counterpart.
+
+use crate::report::ExperimentReport;
+use edgescope_analysis::table::Table;
+
+/// One surveyed trace.
+struct TraceRow {
+    dataset: &'static str,
+    platform: &'static str,
+    duration: &'static str,
+    scale: &'static str,
+    customers: &'static str,
+    why_not: &'static str,
+}
+
+const ROWS: [TraceRow; 7] = [
+    TraceRow {
+        dataset: "Azure Dataset (2017)",
+        platform: "Azure Cloud",
+        duration: "1 month in 2017",
+        scale: "2.0M VMs",
+        customers: "public",
+        why_not: "the 2019 version is used",
+    },
+    TraceRow {
+        dataset: "Azure Dataset (2019)",
+        platform: "Azure Cloud",
+        duration: "1 month in 2019",
+        scale: "2.7M VMs",
+        customers: "public",
+        why_not: "COMPARED (our cloud counterpart)",
+    },
+    TraceRow {
+        dataset: "AliCloud Dataset (2017)",
+        platform: "AliCloud ECS",
+        duration: "12 hours in 2017",
+        scale: "1.3k servers",
+        customers: "public",
+        why_not: "containers only; too short",
+    },
+    TraceRow {
+        dataset: "AliCloud Dataset (2018)",
+        platform: "AliCloud ECS",
+        duration: "8 days in 2018",
+        scale: "4.0k servers",
+        customers: "public",
+        why_not: "containers only; too short",
+    },
+    TraceRow {
+        dataset: "Google Dataset (2011/2019)",
+        platform: "Google Borg",
+        duration: "1 month",
+        scale: "12.6k-96.4k servers",
+        customers: "Google developers",
+        why_not: "first-party only; BigQuery-gated",
+    },
+    TraceRow {
+        dataset: "GWA-T-12 Bitbrains",
+        platform: "Bitbrains",
+        duration: "3 months in 2013",
+        scale: "1.75k VMs",
+        customers: "enterprises",
+        why_not: "old, small, not public",
+    },
+    TraceRow {
+        dataset: "NEP dataset (this study)",
+        platform: "NEP",
+        duration: "3 months in 2020",
+        scale: "complete set",
+        customers: "public",
+        why_not: "-",
+    },
+];
+
+/// Regenerate Table 4. In this reproduction both sides of the comparison
+/// are *generated*: the row metadata is the paper's, and the note records
+/// what our synthetic stand-ins cover.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table4",
+        "Public workload traces surveyed (why Azure 2019 is the counterpart)",
+    );
+    let mut t = Table::new(
+        "Table 4",
+        &["dataset", "platform", "duration", "scale", "customers", "status"],
+    );
+    for r in ROWS {
+        t.row(vec![
+            r.dataset.into(),
+            r.platform.into(),
+            r.duration.into(),
+            r.scale.into(),
+            r.customers.into(),
+            r.why_not.into(),
+        ]);
+    }
+    report.tables.push(t);
+    report.notes.push(
+        "in this reproduction both traces are generated: edgescope-trace's NEP and Azure flavours stand in for the two COMPARED rows, calibrated to every distribution section 4 reports".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_complete() {
+        let r = run();
+        assert_eq!(r.tables[0].n_rows(), 7);
+        let text = r.render();
+        assert!(text.contains("Azure Dataset (2019)"));
+        assert!(text.contains("NEP dataset"));
+        assert!(text.contains("COMPARED"));
+    }
+}

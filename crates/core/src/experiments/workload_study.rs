@@ -1,0 +1,38 @@
+//! Shared trace state for the §4 workload experiments.
+
+use crate::scenario::Scenario;
+use edgescope_platform::deployment::Deployment;
+use edgescope_trace::dataset::TraceDataset;
+
+/// The NEP and Azure traces, generated once per scenario.
+pub struct WorkloadStudy {
+    /// The NEP-flavoured trace.
+    pub nep: TraceDataset,
+    /// The deployment the NEP trace was placed on.
+    pub nep_deployment: Deployment,
+    /// The Azure-flavoured comparison trace.
+    pub azure: TraceDataset,
+}
+
+impl WorkloadStudy {
+    /// Generate both traces at the scenario's sizing.
+    pub fn run(scenario: &Scenario) -> Self {
+        let s = &scenario.sizing;
+        let (nep, nep_deployment) = TraceDataset::generate_nep(
+            scenario.seed ^ 0xeda0,
+            s.trace_sites,
+            s.trace_apps,
+            s.trace_config.clone(),
+        );
+        debug_assert!(!nep.records.is_empty());
+        // The Azure comparison set: same app count, ten regions (a large
+        // public cloud's national footprint).
+        let azure = TraceDataset::generate_azure(
+            scenario.seed ^ 0xa20e,
+            10,
+            s.trace_apps,
+            s.trace_config.clone(),
+        );
+        WorkloadStudy { nep, nep_deployment, azure }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # edgescope-core
+//!
+//! The paper-facing layer: calibrated scenarios and one experiment runner
+//! per table/figure of *"From Cloud to Edge: A First Look at Public Edge
+//! Platforms"* (IMC 2021).
+//!
+//! * [`scenario`] — the simulated world at three scales: `paper` (520
+//!   edge sites, 158 users — the paper's campaign), `default` (a faithful
+//!   but faster reduction), and `quick` (CI-sized);
+//! * [`report`] — experiment outputs: aligned text tables plus CSV series
+//!   for re-plotting;
+//! * [`experiments`] — `table1`, `fig2`, `table2`, `fig3`, `fig4`, `fig5`,
+//!   `fig6`, `fig7`, `table6`, `fig8`, `fig9`, `sales_rate`, `fig10`,
+//!   `fig11`, `fig12`, `fig13`, `fig14`, `table3` — each regenerates its
+//!   artefact and returns an [`report::ExperimentReport`].
+//!
+//! The `reproduce` binary runs everything and writes `results/` — see
+//! `EXPERIMENTS.md` at the workspace root for paper-vs-measured values.
+
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+
+pub use report::ExperimentReport;
+pub use scenario::{Scale, Scenario};
+
+// Re-export the substrate crates so downstream users (and the examples)
+// need only one dependency.
+pub use edgescope_analysis as analysis;
+pub use edgescope_billing as billing;
+pub use edgescope_net as net;
+pub use edgescope_platform as platform;
+pub use edgescope_predict as predict;
+pub use edgescope_probe as probe;
+pub use edgescope_qoe as qoe;
+pub use edgescope_sched as sched;
+pub use edgescope_trace as trace;

@@ -1,0 +1,216 @@
+//! Experiment outputs.
+//!
+//! Every experiment returns an [`ExperimentReport`]: an identifier
+//! matching the paper artefact ("fig2a", "table3", …), a rendered table,
+//! optional CSV series (for re-plotting CDFs/scatters), and free-form
+//! notes recording paper-vs-measured observations.
+
+use edgescope_analysis::table::Table;
+use std::io::Write;
+use std::path::Path;
+
+/// One experiment's output bundle.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Paper artefact id, e.g. `fig2a`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// The headline table(s).
+    pub tables: Vec<Table>,
+    /// Named CSV series, e.g. `("wifi_nearest_edge_cdf", "x,cdf\n…")`.
+    pub csv: Vec<(String, String)>,
+    /// Paper-vs-measured notes.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// New empty report.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        ExperimentReport { id, title: title.into(), tables: Vec::new(), csv: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Render the report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("==== [{}] {} ====\n", self.id, self.title));
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        if !self.csv.is_empty() {
+            let names: Vec<&str> = self.csv.iter().map(|(n, _)| n.as_str()).collect();
+            out.push_str(&format!("csv series: {}\n", names.join(", ")));
+        }
+        out
+    }
+
+    /// Render the report as a self-contained HTML fragment (tables +
+    /// notes). [`render_html_page`] stitches fragments into a document.
+    pub fn render_html(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<section id=\"{}\">\n<h2>[{}] {}</h2>\n",
+            esc(self.id),
+            esc(self.id),
+            esc(&self.title)
+        ));
+        for t in &self.tables {
+            // Re-parse the CSV rendering: header line + rows.
+            let csv = t.to_csv();
+            let mut lines = csv.lines();
+            let header = lines.next().unwrap_or_default();
+            out.push_str(&format!("<h3>{}</h3>\n<table>\n<thead><tr>", esc(t.title())));
+            for cell in header.split(',') {
+                out.push_str(&format!("<th>{}</th>", esc(cell)));
+            }
+            out.push_str("</tr></thead>\n<tbody>\n");
+            for row in lines {
+                out.push_str("<tr>");
+                for cell in row.split(',') {
+                    out.push_str(&format!("<td>{}</td>", esc(cell)));
+                }
+                out.push_str("</tr>\n");
+            }
+            out.push_str("</tbody>\n</table>\n");
+        }
+        for n in &self.notes {
+            out.push_str(&format!("<p class=\"note\">{}</p>\n", esc(n)));
+        }
+        if !self.csv.is_empty() {
+            let names: Vec<String> = self
+                .csv
+                .iter()
+                .map(|(n, _)| format!("<code>{}_{}.csv</code>", esc(self.id), esc(n)))
+                .collect();
+            out.push_str(&format!("<p class=\"csv\">CSV series: {}</p>\n", names.join(", ")));
+        }
+        out.push_str("</section>\n");
+        out
+    }
+
+    /// Write the CSV series to `dir` as `<id>_<name>.csv`. Creates the
+    /// directory if needed.
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (name, data) in &self.csv {
+            let path = dir.join(format!("{}_{name}.csv", self.id));
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(data.as_bytes())?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+/// Stitch a set of reports into one self-contained HTML page (inline CSS,
+/// no external assets — openable from `file://`).
+pub fn render_html_page(title: &str, reports: &[ExperimentReport]) -> String {
+    let mut out = String::from("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
+    out.push_str(&format!("<title>{title}</title>\n"));
+    out.push_str(
+        "<style>\nbody{font-family:sans-serif;max-width:70em;margin:2em auto;padding:0 1em;}\n\
+         table{border-collapse:collapse;margin:0.8em 0;}\n\
+         th,td{border:1px solid #999;padding:0.25em 0.6em;text-align:right;}\n\
+         th:first-child,td:first-child{text-align:left;}\n\
+         .note{color:#444;font-size:0.92em;}\n.csv{color:#666;font-size:0.85em;}\n\
+         nav a{margin-right:0.8em;}\n</style>\n</head><body>\n",
+    );
+    out.push_str(&format!("<h1>{title}</h1>\n<nav>"));
+    for r in reports {
+        out.push_str(&format!("<a href=\"#{}\">{}</a>", r.id, r.id));
+    }
+    out.push_str("</nav>\n");
+    for r in reports {
+        out.push_str(&r.render_html());
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// Build a `name,value` CSV from labelled points.
+pub fn kv_csv(header: (&str, &str), rows: &[(String, f64)]) -> String {
+    let mut out = format!("{},{}\n", header.0, header.1);
+    for (k, v) in rows {
+        out.push_str(&format!("{k},{v:.6}\n"));
+    }
+    out
+}
+
+/// Build a scatter CSV from `(x, y)` points.
+pub fn xy_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
+    let mut out = format!("{},{}\n", header.0, header.1);
+    for (x, y) in points {
+        out.push_str(&format!("{x:.6},{y:.6}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_everything() {
+        let mut r = ExperimentReport::new("figX", "demo");
+        let mut t = Table::new("demo table", &["k", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        r.tables.push(t);
+        r.notes.push("paper: 42, measured: 41".into());
+        r.csv.push(("series".into(), "x,y\n1,2\n".into()));
+        let s = r.render();
+        assert!(s.contains("[figX]"));
+        assert!(s.contains("demo table"));
+        assert!(s.contains("paper: 42"));
+        assert!(s.contains("csv series: series"));
+    }
+
+    #[test]
+    fn save_csv_writes_files() {
+        let mut r = ExperimentReport::new("figY", "demo");
+        r.csv.push(("a".into(), "x\n1\n".into()));
+        r.csv.push(("b".into(), "y\n2\n".into()));
+        let dir = std::env::temp_dir().join("edgescope_report_test");
+        let files = r.save_csv(&dir).expect("write csv");
+        assert_eq!(files.len(), 2);
+        for f in &files {
+            assert!(f.exists());
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn html_renders_and_escapes() {
+        let mut r = ExperimentReport::new("figZ", "a <b> & c");
+        let mut t = Table::new("tbl", &["k", "v"]);
+        t.row(vec!["x<y".into(), "1".into()]);
+        r.tables.push(t);
+        r.notes.push("5 > 3".into());
+        r.csv.push(("s".into(), "x\n".into()));
+        let html = r.render_html();
+        assert!(html.contains("a &lt;b&gt; &amp; c"));
+        assert!(html.contains("<td>x&lt;y</td>"));
+        assert!(html.contains("5 &gt; 3"));
+        assert!(html.contains("figZ_s.csv"));
+        let page = render_html_page("EdgeScope", &[r]);
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.contains("<nav><a href=\"#figZ\">"));
+        assert!(page.ends_with("</body></html>\n"));
+    }
+
+    #[test]
+    fn csv_helpers() {
+        let kv = kv_csv(("k", "v"), &[("a".into(), 1.0)]);
+        assert!(kv.starts_with("k,v\n"));
+        assert!(kv.contains("a,1.000000"));
+        let xy = xy_csv(("d", "r"), &[(1.5, 2.5)]);
+        assert!(xy.contains("1.500000,2.500000"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The simulated world at configurable scales.
+//!
+//! A [`Scenario`] owns everything an experiment needs: the NEP and cloud
+//! deployments, the crowd, the path/TCP models, and the trace-generation
+//! parameters. Three scales ship:
+//!
+//! * [`Scale::Paper`] — the paper's campaign size (520 edge sites, 158
+//!   users, 92-day traces at 1-min CPU). Minutes of CPU; use for final
+//!   EXPERIMENTS.md numbers.
+//! * [`Scale::Default`] — a reduction (≈150 sites, 100 users, 28-day
+//!   compact traces) that preserves every statistic the paper reports.
+//! * [`Scale::Quick`] — CI-sized.
+
+use edgescope_net::path::PathModel;
+use edgescope_net::tcp::ThroughputModel;
+use edgescope_platform::deployment::Deployment;
+use edgescope_probe::user::{recruit, VirtualUser};
+use edgescope_trace::series::TraceConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's campaign size (520 sites, 158 users, 92-day traces).
+    Paper,
+    /// A faithful but faster reduction.
+    Default,
+    /// CI-sized.
+    Quick,
+}
+
+impl Scale {
+    /// Parse from a string (the `EDGESCOPE_SCALE` env var of the
+    /// `reproduce` binary).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "paper" => Some(Scale::Paper),
+            "default" => Some(Scale::Default),
+            "quick" => Some(Scale::Quick),
+            _ => None,
+        }
+    }
+}
+
+/// Scale-dependent sizing knobs.
+#[derive(Debug, Clone)]
+pub struct Sizing {
+    /// Edge sites in the latency deployment.
+    pub nep_sites: usize,
+    /// Crowd size.
+    pub n_users: usize,
+    /// Echo probes per target (paper: 30).
+    pub pings_per_target: usize,
+    /// Sites of the (smaller) deployment used for trace generation — the
+    /// workload analysis needs populated sites, not national scale.
+    pub trace_sites: usize,
+    /// Apps in the workload traces.
+    pub trace_apps: usize,
+    /// Trace sampling configuration.
+    pub trace_config: TraceConfig,
+    /// VMs per platform evaluated in the Fig. 14 prediction study.
+    pub predict_vms: usize,
+    /// QoE samples per condition (paper: 50).
+    pub qoe_samples: usize,
+    /// Apps examined in Table 3 (paper: 50 heaviest).
+    pub table3_apps: usize,
+}
+
+/// The simulated world.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// World seed; identical seeds give identical worlds.
+    pub seed: u64,
+    /// The chosen scale.
+    pub scale: Scale,
+    /// Scale-dependent sizing knobs.
+    pub sizing: Sizing,
+    /// The NEP edge deployment.
+    pub nep: Deployment,
+    /// AliCloud's 12 China regions (vCloud-1).
+    pub alicloud: Deployment,
+    /// Huawei Cloud's 5 China regions (vCloud-2).
+    pub huawei: Deployment,
+    /// The recruited crowd.
+    pub users: Vec<VirtualUser>,
+    /// The calibrated path model.
+    pub path_model: PathModel,
+    /// The calibrated TCP model.
+    pub tcp_model: ThroughputModel,
+}
+
+impl Scenario {
+    /// Build a scenario at a scale with a seed. Identical inputs ⇒
+    /// identical world.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let sizing = match scale {
+            Scale::Paper => Sizing {
+                nep_sites: 520,
+                n_users: 158,
+                pings_per_target: 30,
+                trace_sites: 120,
+                trace_apps: 200,
+                trace_config: TraceConfig { days: 92, cpu_interval_min: 5, bw_interval_min: 5, start_weekday: 0 },
+                predict_vms: 40,
+                qoe_samples: 50,
+                table3_apps: 50,
+            },
+            Scale::Default => Sizing {
+                nep_sites: 150,
+                n_users: 100,
+                pings_per_target: 30,
+                trace_sites: 60,
+                trace_apps: 120,
+                trace_config: TraceConfig::compact(),
+                predict_vms: 16,
+                qoe_samples: 50,
+                table3_apps: 30,
+            },
+            Scale::Quick => Sizing {
+                nep_sites: 60,
+                n_users: 40,
+                pings_per_target: 15,
+                trace_sites: 30,
+                trace_apps: 40,
+                trace_config: TraceConfig {
+                    days: 14,
+                    cpu_interval_min: 10,
+                    bw_interval_min: 30,
+                    start_weekday: 0,
+                },
+                predict_vms: 4,
+                qoe_samples: 25,
+                table3_apps: 15,
+            },
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nep = Deployment::nep(&mut rng, sizing.nep_sites);
+        let users = recruit(&mut rng, sizing.n_users);
+        Scenario {
+            seed,
+            scale,
+            sizing,
+            nep,
+            alicloud: Deployment::alicloud(),
+            huawei: Deployment::huawei_cloud(),
+            users,
+            path_model: PathModel::paper_default(),
+            tcp_model: ThroughputModel::paper_default(),
+        }
+    }
+
+    /// Build a scenario with explicit sizing (custom studies that need,
+    /// say, a bigger crowd on a small deployment).
+    pub fn with_sizing(sizing: Sizing, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nep = Deployment::nep(&mut rng, sizing.nep_sites);
+        let users = recruit(&mut rng, sizing.n_users);
+        Scenario {
+            seed,
+            scale: Scale::Quick,
+            sizing,
+            nep,
+            alicloud: Deployment::alicloud(),
+            huawei: Deployment::huawei_cloud(),
+            users,
+            path_model: PathModel::paper_default(),
+            tcp_model: ThroughputModel::paper_default(),
+        }
+    }
+
+    /// A fresh RNG derived from the scenario seed and a per-experiment
+    /// tag, so experiments are independent of each other's execution
+    /// order.
+    pub fn rng(&self, tag: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("Default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("gigantic"), None);
+    }
+
+    #[test]
+    fn quick_scenario_builds() {
+        let s = Scenario::new(Scale::Quick, 1);
+        assert_eq!(s.nep.n_sites(), 60);
+        assert_eq!(s.users.len(), 40);
+        assert_eq!(s.alicloud.n_sites(), 12);
+        assert_eq!(s.huawei.n_sites(), 5);
+    }
+
+    #[test]
+    fn deterministic_world() {
+        let a = Scenario::new(Scale::Quick, 9);
+        let b = Scenario::new(Scale::Quick, 9);
+        assert_eq!(a.users, b.users);
+        let ca: Vec<&str> = a.nep.sites.iter().map(|s| s.city.name).collect();
+        let cb: Vec<&str> = b.nep.sites.iter().map(|s| s.city.name).collect();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn custom_sizing_respected() {
+        let mut sizing = Scenario::new(Scale::Quick, 1).sizing;
+        sizing.nep_sites = 25;
+        sizing.n_users = 11;
+        let s = Scenario::with_sizing(sizing, 2);
+        assert_eq!(s.nep.n_sites(), 25);
+        assert_eq!(s.users.len(), 11);
+    }
+
+    #[test]
+    fn per_experiment_rngs_differ() {
+        use rand::Rng;
+        let s = Scenario::new(Scale::Quick, 2);
+        let a: u64 = s.rng(1).gen();
+        let b: u64 = s.rng(2).gen();
+        assert_ne!(a, b);
+        let a2: u64 = s.rng(1).gen();
+        assert_eq!(a, a2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Fault injection, in the spirit of smoltcp's example knobs.
+//!
+//! A [`FaultInjector`] perturbs probe traffic: extra drop chance, jitter
+//! amplification, and additional TCP loss. Experiments use the default
+//! (no faults); robustness tests crank these up to verify the measurement
+//! pipeline degrades gracefully instead of panicking or biasing results.
+
+use rand::Rng;
+
+/// Fault-injection configuration applied on top of a path's own behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    /// Extra probability that any probe is dropped outright.
+    pub drop_chance: f64,
+    /// Multiplier applied to sampled jitter deviations (1.0 = unchanged).
+    pub jitter_scale: f64,
+    /// Extra TCP segment-loss probability added to the Mathis model input.
+    pub extra_tcp_loss: f64,
+}
+
+impl FaultInjector {
+    /// No faults — the configuration used by all paper experiments.
+    pub fn none() -> Self {
+        FaultInjector {
+            drop_chance: 0.0,
+            jitter_scale: 1.0,
+            extra_tcp_loss: 0.0,
+        }
+    }
+
+    /// A moderately hostile network, handy in tests: 5 % extra drops,
+    /// doubled jitter, 0.1 % extra TCP loss.
+    pub fn hostile() -> Self {
+        FaultInjector {
+            drop_chance: 0.05,
+            jitter_scale: 2.0,
+            extra_tcp_loss: 1e-3,
+        }
+    }
+
+    /// Whether a probe should be dropped by the injector.
+    pub fn drops(&self, rng: &mut impl Rng) -> bool {
+        self.drop_chance > 0.0 && rng.gen::<f64>() < self.drop_chance
+    }
+
+    /// Apply jitter amplification to a sampled RTT around its mean.
+    pub fn amplify_jitter(&self, mean_ms: f64, sampled_ms: f64) -> f64 {
+        (mean_ms + (sampled_ms - mean_ms) * self.jitter_scale).max(0.05)
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_drops() {
+        let f = FaultInjector::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| !f.drops(&mut rng)));
+    }
+
+    #[test]
+    fn hostile_drops_sometimes() {
+        let f = FaultInjector::hostile();
+        let mut rng = StdRng::seed_from_u64(2);
+        let drops = (0..10_000).filter(|_| f.drops(&mut rng)).count();
+        assert!((300..700).contains(&drops), "drops {drops}");
+    }
+
+    #[test]
+    fn jitter_amplification_doubles_deviation() {
+        let f = FaultInjector {
+            jitter_scale: 2.0,
+            ..FaultInjector::none()
+        };
+        assert_eq!(f.amplify_jitter(10.0, 11.0), 12.0);
+        assert_eq!(f.amplify_jitter(10.0, 9.0), 8.0);
+    }
+
+    #[test]
+    fn jitter_floor_keeps_rtt_positive() {
+        let f = FaultInjector {
+            jitter_scale: 100.0,
+            ..FaultInjector::none()
+        };
+        assert!(f.amplify_jitter(1.0, 0.5) > 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Geographic primitives: WGS-84 points and great-circle distances.
+
+/// A point on the globe (degrees latitude / longitude).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees.
+    pub lat_deg: f64,
+    /// Longitude in degrees.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point; panics on out-of-range coordinates (they always
+    /// indicate corrupted scenario data).
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        assert!(
+            (-90.0..=90.0).contains(&lat_deg),
+            "latitude out of range: {lat_deg}"
+        );
+        assert!(
+            (-180.0..=180.0).contains(&lon_deg),
+            "longitude out of range: {lon_deg}"
+        );
+        GeoPoint { lat_deg, lon_deg }
+    }
+
+    /// Great-circle distance to another point, in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        haversine_km(*self, *other)
+    }
+}
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Haversine great-circle distance between two points, in kilometres.
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let lat1 = a.lat_deg.to_radians();
+    let lat2 = b.lat_deg.to_radians();
+    let dlat = (b.lat_deg - a.lat_deg).to_radians();
+    let dlon = (b.lon_deg - a.lon_deg).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        let p = GeoPoint::new(39.9, 116.4);
+        assert_eq!(haversine_km(p, p), 0.0);
+    }
+
+    #[test]
+    fn beijing_to_guangzhou() {
+        // Beijing (39.90, 116.40) to Guangzhou (23.13, 113.26) ≈ 1890 km.
+        let bj = GeoPoint::new(39.90, 116.40);
+        let gz = GeoPoint::new(23.13, 113.26);
+        let d = haversine_km(bj, gz);
+        assert!((d - 1890.0).abs() < 30.0, "got {d}");
+    }
+
+    #[test]
+    fn beijing_to_shanghai() {
+        // ≈ 1070 km.
+        let bj = GeoPoint::new(39.90, 116.40);
+        let sh = GeoPoint::new(31.23, 121.47);
+        let d = haversine_km(bj, sh);
+        assert!((d - 1070.0).abs() < 30.0, "got {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = GeoPoint::new(30.0, 100.0);
+        let b = GeoPoint::new(45.0, 120.0);
+        assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let a = GeoPoint::new(20.0, 110.0);
+        let b = GeoPoint::new(30.0, 115.0);
+        let c = GeoPoint::new(40.0, 120.0);
+        assert!(haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn bad_latitude() {
+        GeoPoint::new(91.0, 0.0);
+    }
+}

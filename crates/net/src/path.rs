@@ -1,0 +1,558 @@
+//! Hop-level path construction.
+//!
+//! A [`Path`] is the simulator's unit of connectivity: an ordered list of
+//! [`Hop`]s, each carrying this user's mean RTT contribution, a per-probe
+//! jitter CV, a latency-spike process, and a loss probability. Paths are
+//! built by [`PathModel`] from (access network, great-circle distance,
+//! target class) and are calibrated against the paper:
+//!
+//! * **Table 2** — per-hop latency shares per access network;
+//! * **Fig. 2(a)** — median RTTs (nearest edge 16.1/37.6/10.4 ms for
+//!   WiFi/LTE/5G; nearest cloud 1.47×/1.33×/1.23× higher);
+//! * **Fig. 2(b)** — RTT CV (nearest edge ≈1.1 %/2.3 %/0.7 %; clouds
+//!   ≈4–6× higher, distant clouds far worse);
+//! * **Fig. 3** — hop counts (edge 5–12, median 8; cloud 10–16);
+//! * **Fig. 4** — inter-site RTT growing with distance, reaching ≈100 ms
+//!   around 3000 km at the upper envelope.
+//!
+//! Jitter model: per-probe RTT = Σ over hops of
+//! `LogNormal(hop_mean, jitter_cv)` plus, on WAN hops, an exponential spike
+//! with small probability — long backbone paths are where the paper's
+//! 5–30× CV gap between edge and cloud comes from.
+
+use crate::access::AccessNetwork;
+use crate::rng::{exponential, log_normal_mean_cv};
+use rand::Rng;
+
+/// What a hop physically is. Used for reporting and for Table 2 grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HopKind {
+    /// WiFi air link to the access point.
+    WirelessAp,
+    /// Cellular radio access network (eNB/gNB).
+    CellularRan,
+    /// Cellular core (S-GW/P-GW or UPF).
+    CellularCore,
+    /// Home/campus gateway to the metro network.
+    HomeGateway,
+    /// Metro aggregation router.
+    MetroAggregation,
+    /// Provincial core router.
+    ProvincialCore,
+    /// Inter-city backbone segment.
+    Backbone,
+    /// Datacenter border gateway.
+    DcGateway,
+    /// Intra-datacenter hop.
+    DcInternal,
+}
+
+/// Whether the destination is an edge site or a cloud region. Cloud DCs are
+/// deeper (more internal tiers behind the border), edge sites shallower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetClass {
+    /// A shallow NEP edge site.
+    EdgeSite,
+    /// A deep cloud region.
+    CloudRegion,
+}
+
+/// One hop of a path, parameterized for *this user's* connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    /// What the hop physically is.
+    pub kind: HopKind,
+    /// This user's mean RTT contribution of the hop, in ms.
+    pub rtt_ms: f64,
+    /// Per-probe relative jitter (CV of the log-normal latency draw).
+    pub jitter_cv: f64,
+    /// Probability that a probe through this hop experiences a latency
+    /// spike (queueing burst).
+    pub spike_prob: f64,
+    /// Mean size of a spike in ms (exponential).
+    pub spike_mean_ms: f64,
+    /// Probability a probe is dropped at this hop.
+    pub loss: f64,
+    /// Whether the hop answers ICMP (the 5G operator hides its first hops).
+    pub visible: bool,
+}
+
+impl Hop {
+    /// Sample this hop's RTT contribution for one probe.
+    pub fn sample_rtt_ms(&self, rng: &mut impl Rng) -> f64 {
+        let mut v = log_normal_mean_cv(rng, self.rtt_ms, self.jitter_cv);
+        if self.spike_prob > 0.0 && rng.gen::<f64>() < self.spike_prob {
+            v += exponential(rng, 1.0 / self.spike_mean_ms);
+        }
+        v
+    }
+}
+
+/// A concrete path between two endpoints for one user/connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    hops: Vec<Hop>,
+    distance_km: f64,
+    access: Option<AccessNetwork>,
+    target: TargetClass,
+}
+
+impl Path {
+    /// The hops, in order from the UE (or source DC) to the destination.
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// Number of hops (what traceroute would count, including invisible
+    /// ones — visibility only affects reporting).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Great-circle distance between the endpoints in km.
+    pub fn distance_km(&self) -> f64 {
+        self.distance_km
+    }
+
+    /// Access network of the UE side, if this is a UE path.
+    pub fn access(&self) -> Option<AccessNetwork> {
+        self.access
+    }
+
+    /// Destination class.
+    pub fn target(&self) -> TargetClass {
+        self.target
+    }
+
+    /// This user's expected (mean) end-to-end RTT in ms, excluding spikes.
+    pub fn mean_rtt_ms(&self) -> f64 {
+        self.hops.iter().map(|h| h.rtt_ms).sum()
+    }
+
+    /// Sample one probe's end-to-end RTT in ms.
+    pub fn sample_rtt_ms(&self, rng: &mut impl Rng) -> f64 {
+        self.hops.iter().map(|h| h.sample_rtt_ms(rng)).sum()
+    }
+
+    /// Probability that a single probe is lost anywhere along the path.
+    pub fn loss_probability(&self) -> f64 {
+        1.0 - self.hops.iter().map(|h| 1.0 - h.loss).product::<f64>()
+    }
+
+    /// Number of WAN (backbone) hops — drives the TCP loss model.
+    pub fn wan_hop_count(&self) -> usize {
+        self.hops
+            .iter()
+            .filter(|h| h.kind == HopKind::Backbone)
+            .count()
+    }
+}
+
+/// Calibration constants for path construction. [`PathModel::paper_default`]
+/// carries the values fitted to the paper; tests in `edgescope-core` assert
+/// the resulting statistics stay inside the paper's bands.
+#[derive(Debug, Clone)]
+pub struct PathModel {
+    /// RTT per km of great-circle distance on the WAN (fiber propagation
+    /// plus routing inflation). Fitted to Fig. 4.
+    pub wan_ms_per_km: f64,
+    /// Relative per-path spread of the WAN slope (route luck).
+    pub wan_slope_cv: f64,
+    /// Per-WAN-hop switching overhead (ms RTT).
+    pub wan_hop_overhead_ms: f64,
+    /// Distance (km) covered per backbone hop.
+    pub km_per_backbone_hop: f64,
+    /// Base RTT of the metro/provincial segment + DC ingress for an edge
+    /// site (ms).
+    pub edge_rest_base_ms: f64,
+    /// Same, for a cloud region (deeper ingress).
+    pub cloud_rest_base_ms: f64,
+    /// Per-user CV applied to every hop's mean (different homes, different
+    /// base stations).
+    pub per_user_cv: f64,
+    /// Per-probe jitter CV of access/metro hops.
+    pub access_jitter_cv: f64,
+    /// Per-probe jitter CV of WAN hops.
+    pub wan_jitter_cv: f64,
+    /// Per-probe spike probability on WAN hops.
+    pub wan_spike_prob: f64,
+    /// Spike mean as a fraction of the hop's own RTT.
+    pub wan_spike_frac: f64,
+    /// Per-hop probe-loss probability.
+    pub hop_loss: f64,
+}
+
+impl PathModel {
+    /// The calibration fitted to the paper (see module docs).
+    pub fn paper_default() -> Self {
+        PathModel {
+            wan_ms_per_km: 0.021,
+            wan_slope_cv: 0.35,
+            wan_hop_overhead_ms: 0.35,
+            km_per_backbone_hop: 380.0,
+            edge_rest_base_ms: 4.4,
+            cloud_rest_base_ms: 3.2,
+            per_user_cv: 0.22,
+            access_jitter_cv: 0.012,
+            wan_jitter_cv: 0.085,
+            wan_spike_prob: 0.08,
+            wan_spike_frac: 1.2,
+            hop_loss: 0.002,
+        }
+    }
+
+    /// The access-specific first hops: (kind, mean RTT ms, jitter CV).
+    /// Means are fitted to Table 2's shares of the Fig. 2(a) medians.
+    fn access_hops(&self, access: AccessNetwork) -> Vec<(HopKind, f64, f64)> {
+        let a = self.access_jitter_cv;
+        match access {
+            // 16.1 ms nearest-edge total: 7.1 / 1.7 / 2.4 / rest≈4.9.
+            AccessNetwork::Wifi => vec![
+                (HopKind::WirelessAp, 7.1, a * 1.4),
+                (HopKind::HomeGateway, 1.7, a),
+                (HopKind::MetroAggregation, 2.4, a),
+            ],
+            // 37.6 ms nearest-edge total: 3.8 / 26.4 / 3.5 / rest≈3.9. The
+            // cellular core is the dominant and most variable hop (70 % of
+            // the RTT, §3.1); its per-user spread is heavy so the mean over
+            // users exceeds the median, as in the paper.
+            AccessNetwork::Lte => vec![
+                (HopKind::CellularRan, 3.8, a * 2.0),
+                (HopKind::CellularCore, 26.4, a * 2.0),
+                (HopKind::MetroAggregation, 3.5, a),
+            ],
+            // 10.4 ms nearest-edge total: first three hops ≈98 %.
+            AccessNetwork::FiveG => vec![
+                (HopKind::CellularRan, 2.1, a),
+                (HopKind::CellularCore, 4.3, a),
+                (HopKind::MetroAggregation, 3.6, a),
+            ],
+            // Campus/office wired access: fast and stable.
+            AccessNetwork::Wired => vec![
+                (HopKind::HomeGateway, 0.4, a),
+                (HopKind::MetroAggregation, 1.0, a),
+            ],
+        }
+    }
+
+    /// Build a UE→DC path for one user.
+    ///
+    /// `distance_km` is the great-circle UE↔DC distance; `target`
+    /// distinguishes shallow edge sites from deeper cloud regions.
+    pub fn ue_path(
+        &self,
+        rng: &mut impl Rng,
+        access: AccessNetwork,
+        distance_km: f64,
+        target: TargetClass,
+    ) -> Path {
+        assert!(distance_km >= 0.0, "negative distance");
+        let mut hops = Vec::new();
+        let hidden = access.icmp_hidden_hops();
+        for (i, (kind, mean, jcv)) in self.access_hops(access).into_iter().enumerate() {
+            let user_mean = log_normal_mean_cv(rng, mean, self.per_user_cv);
+            hops.push(Hop {
+                kind,
+                rtt_ms: user_mean,
+                jitter_cv: jcv,
+                spike_prob: 0.0,
+                spike_mean_ms: 0.0,
+                loss: self.hop_loss,
+                visible: i >= hidden,
+            });
+        }
+        // 5G's flattened architecture breaks traffic out of the UPF almost
+        // directly into the edge DC (§3.1: first three hops are ~98 % of
+        // the nearest-edge RTT), so the metro/provincial segment nearly
+        // vanishes for 5G users.
+        let rest_scale = match (access, target) {
+            (AccessNetwork::FiveG, TargetClass::EdgeSite) => 0.12,
+            (AccessNetwork::FiveG, TargetClass::CloudRegion) => 0.50,
+            _ => 1.0,
+        };
+        self.push_wan_and_dc(rng, &mut hops, distance_km, target, rest_scale);
+        Path {
+            hops,
+            distance_km,
+            access: Some(access),
+            target,
+        }
+    }
+
+    /// Build a DC↔DC path (Fig. 4's inter-site measurements). Both ends are
+    /// edge sites: shallow ingress on each side plus the WAN.
+    pub fn intersite_path(&self, rng: &mut impl Rng, distance_km: f64) -> Path {
+        assert!(distance_km >= 0.0, "negative distance");
+        let mut hops = vec![Hop {
+            kind: HopKind::DcGateway,
+            rtt_ms: log_normal_mean_cv(rng, 0.8, self.per_user_cv),
+            jitter_cv: self.access_jitter_cv,
+            spike_prob: 0.0,
+            spike_mean_ms: 0.0,
+            loss: self.hop_loss,
+            visible: true,
+        }];
+        self.push_wan_and_dc(rng, &mut hops, distance_km, TargetClass::EdgeSite, 0.6);
+        Path {
+            hops,
+            distance_km,
+            access: None,
+            target: TargetClass::EdgeSite,
+        }
+    }
+
+    /// Append the provincial-core, backbone, and DC hops shared by all
+    /// paths. `rest_scale` shrinks the non-WAN "rest" budget (5G breakout,
+    /// DC-to-DC peering).
+    fn push_wan_and_dc(
+        &self,
+        rng: &mut impl Rng,
+        hops: &mut Vec<Hop>,
+        distance_km: f64,
+        target: TargetClass,
+        rest_scale: f64,
+    ) {
+        let rest_base = rest_scale
+            * match target {
+                TargetClass::EdgeSite => self.edge_rest_base_ms,
+                TargetClass::CloudRegion => self.cloud_rest_base_ms,
+            };
+        // Provincial/metro core: 2–4 hops sharing ~62 % of the rest budget.
+        let n_core = rng.gen_range(2..=4usize);
+        let core_each = rest_base * 0.62 / n_core as f64;
+        for _ in 0..n_core {
+            hops.push(Hop {
+                kind: HopKind::ProvincialCore,
+                rtt_ms: log_normal_mean_cv(rng, core_each.max(0.02), self.per_user_cv),
+                jitter_cv: self.access_jitter_cv * 1.6,
+                spike_prob: 0.0,
+                spike_mean_ms: 0.0,
+                loss: self.hop_loss,
+                visible: true,
+            });
+        }
+
+        // Inter-AS peering: clouds always cross one; edges sometimes.
+        let peering = target == TargetClass::CloudRegion || rng.gen::<f64>() < 0.4;
+        if peering {
+            hops.push(Hop {
+                kind: HopKind::Backbone,
+                rtt_ms: log_normal_mean_cv(rng, (0.30 * rest_scale).max(0.02), self.per_user_cv),
+                jitter_cv: self.wan_jitter_cv,
+                spike_prob: 0.0,
+                spike_mean_ms: 0.0,
+                loss: self.hop_loss,
+                visible: true,
+            });
+        }
+
+        // Long-haul backbone hops. Clouds sit behind at least two backbone
+        // segments even in the same metro (their regions peer at national
+        // exchange points); edges are reached intra-metro when close.
+        let n_backbone = match target {
+            TargetClass::EdgeSite => {
+                if distance_km < 40.0 {
+                    0
+                } else {
+                    1 + (distance_km / 600.0) as usize
+                }
+            }
+            TargetClass::CloudRegion => 2 + (distance_km / 900.0) as usize,
+        };
+        if n_backbone > 0 {
+            let slope = log_normal_mean_cv(rng, self.wan_ms_per_km, self.wan_slope_cv);
+            let wan_total = slope * distance_km + self.wan_hop_overhead_ms * n_backbone as f64;
+            let per_hop = wan_total / n_backbone as f64;
+            for _ in 0..n_backbone {
+                hops.push(Hop {
+                    kind: HopKind::Backbone,
+                    rtt_ms: per_hop,
+                    jitter_cv: self.wan_jitter_cv,
+                    spike_prob: self.wan_spike_prob,
+                    spike_mean_ms: (per_hop * self.wan_spike_frac).max(0.5),
+                    loss: self.hop_loss,
+                    visible: true,
+                });
+            }
+        }
+
+        // DC ingress: gateway always; clouds add 1–2 internal tiers, edges
+        // occasionally one.
+        hops.push(Hop {
+            kind: HopKind::DcGateway,
+            rtt_ms: log_normal_mean_cv(rng, (rest_base * 0.38).max(0.02), self.per_user_cv),
+            jitter_cv: self.access_jitter_cv,
+            spike_prob: 0.0,
+            spike_mean_ms: 0.0,
+            loss: self.hop_loss,
+            visible: true,
+        });
+        let n_internal = match target {
+            TargetClass::CloudRegion => rng.gen_range(1..=2usize),
+            TargetClass::EdgeSite => (rng.gen::<f64>() < 0.3) as usize,
+        };
+        for _ in 0..n_internal {
+            hops.push(Hop {
+                kind: HopKind::DcInternal,
+                rtt_ms: log_normal_mean_cv(rng, (0.30 * rest_scale).max(0.02), self.per_user_cv),
+                jitter_cv: self.access_jitter_cv,
+                spike_prob: 0.0,
+                spike_mean_ms: 0.0,
+                loss: self.hop_loss,
+                visible: true,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> PathModel {
+        PathModel::paper_default()
+    }
+
+    fn mean_of<F: FnMut(&mut StdRng) -> f64>(n: usize, mut f: F) -> f64 {
+        let mut rng = StdRng::seed_from_u64(99);
+        (0..n).map(|_| f(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn wifi_nearest_edge_rtt_near_paper_median() {
+        // Fig. 2(a): WiFi nearest edge median ≈ 16.1 ms. Same-city edge
+        // (≈20 km).
+        let m = model();
+        let mut rtts: Vec<f64> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..400 {
+            let p = m.ue_path(&mut rng, AccessNetwork::Wifi, 20.0, TargetClass::EdgeSite);
+            rtts.push(p.mean_rtt_ms());
+        }
+        rtts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = rtts[rtts.len() / 2];
+        assert!((median - 16.1).abs() < 2.5, "median {median}");
+    }
+
+    #[test]
+    fn lte_slower_than_wifi_slower_than_5g() {
+        let m = model();
+        let wifi = mean_of(300, |r| {
+            m.ue_path(r, AccessNetwork::Wifi, 20.0, TargetClass::EdgeSite)
+                .mean_rtt_ms()
+        });
+        let lte = mean_of(300, |r| {
+            m.ue_path(r, AccessNetwork::Lte, 20.0, TargetClass::EdgeSite)
+                .mean_rtt_ms()
+        });
+        let fiveg = mean_of(300, |r| {
+            m.ue_path(r, AccessNetwork::FiveG, 20.0, TargetClass::EdgeSite)
+                .mean_rtt_ms()
+        });
+        assert!(lte > wifi && wifi > fiveg, "lte {lte} wifi {wifi} 5g {fiveg}");
+    }
+
+    #[test]
+    fn cloud_paths_longer_and_deeper() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(5);
+        let edge = m.ue_path(&mut rng, AccessNetwork::Wifi, 20.0, TargetClass::EdgeSite);
+        let cloud = m.ue_path(&mut rng, AccessNetwork::Wifi, 900.0, TargetClass::CloudRegion);
+        assert!(cloud.mean_rtt_ms() > edge.mean_rtt_ms());
+        assert!(cloud.hop_count() > edge.hop_count());
+    }
+
+    #[test]
+    fn hop_counts_in_paper_bands() {
+        // Fig. 3: edge 5–12 (median ≈8), cloud 10–16.
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut edge_counts = Vec::new();
+        let mut cloud_counts = Vec::new();
+        for _ in 0..500 {
+            let d_edge = rng.gen_range(5.0..120.0);
+            edge_counts.push(
+                m.ue_path(&mut rng, AccessNetwork::Wifi, d_edge, TargetClass::EdgeSite)
+                    .hop_count(),
+            );
+            let d_cloud = rng.gen_range(250.0..2400.0);
+            cloud_counts.push(
+                m.ue_path(&mut rng, AccessNetwork::Wifi, d_cloud, TargetClass::CloudRegion)
+                    .hop_count(),
+            );
+        }
+        let e_min = *edge_counts.iter().min().unwrap();
+        let e_max = *edge_counts.iter().max().unwrap();
+        let c_min = *cloud_counts.iter().min().unwrap();
+        let c_max = *cloud_counts.iter().max().unwrap();
+        assert!(e_min >= 5 && e_max <= 12, "edge hops {e_min}..{e_max}");
+        assert!(c_min >= 8 && c_max <= 17, "cloud hops {c_min}..{c_max}");
+        edge_counts.sort_unstable();
+        let e_med = edge_counts[edge_counts.len() / 2];
+        assert!((6..=9).contains(&e_med), "edge median {e_med}");
+    }
+
+    #[test]
+    fn intersite_rtt_tracks_distance() {
+        // Fig. 4: RTT grows with distance; ≈100 ms reached near 3000 km at
+        // the upper envelope; nearby sites only a few ms.
+        let m = model();
+        let near = mean_of(200, |r| m.intersite_path(r, 50.0).mean_rtt_ms());
+        let far = mean_of(200, |r| m.intersite_path(r, 3000.0).mean_rtt_ms());
+        assert!(near < 10.0, "near {near}");
+        assert!((55.0..110.0).contains(&far), "far mean {far}");
+        // Upper envelope: some paths do reach ~100 ms.
+        let mut rng = StdRng::seed_from_u64(10);
+        let max = (0..300)
+            .map(|_| m.intersite_path(&mut rng, 3000.0).mean_rtt_ms())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > 90.0, "max {max}");
+    }
+
+    #[test]
+    fn per_probe_jitter_small_on_edge_paths() {
+        // Fig. 2(b): nearest-edge WiFi RTT CV ≈ 1.1 %.
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = m.ue_path(&mut rng, AccessNetwork::Wifi, 20.0, TargetClass::EdgeSite);
+        let samples: Vec<f64> = (0..30).map(|_| p.sample_rtt_ms(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        assert!(std / mean < 0.05, "edge CV {}", std / mean);
+    }
+
+    #[test]
+    fn loss_probability_positive_and_small() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = m.ue_path(&mut rng, AccessNetwork::Lte, 500.0, TargetClass::CloudRegion);
+        let loss = p.loss_probability();
+        assert!(loss > 0.0 && loss < 0.1, "loss {loss}");
+    }
+
+    #[test]
+    fn five_g_first_hops_invisible() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = m.ue_path(&mut rng, AccessNetwork::FiveG, 20.0, TargetClass::EdgeSite);
+        assert!(!p.hops()[0].visible);
+        assert!(!p.hops()[1].visible);
+        assert!(p.hops()[2].visible);
+        let q = m.ue_path(&mut rng, AccessNetwork::Wifi, 20.0, TargetClass::EdgeSite);
+        assert!(q.hops().iter().all(|h| h.visible));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = model();
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        let pa = m.ue_path(&mut a, AccessNetwork::Lte, 700.0, TargetClass::CloudRegion);
+        let pb = m.ue_path(&mut b, AccessNetwork::Lte, 700.0, TargetClass::CloudRegion);
+        assert_eq!(pa, pb);
+    }
+}

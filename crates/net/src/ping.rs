@@ -1,0 +1,187 @@
+//! The ICMP-echo (ping) engine.
+//!
+//! §2.1.1: "the app will obtain the round-trip time (RTT) to each
+//! edge/cloud VM … Each IP testing is repeated by 30 times." [`PingEngine`]
+//! reproduces that harness: it fires `n` echo probes down a [`Path`],
+//! records per-probe RTTs, loses probes according to the path's (and the
+//! fault injector's) loss model, and summarizes mean/std/CV exactly the way
+//! §3.1 computes delay and jitter.
+
+use crate::fault::FaultInjector;
+use crate::path::Path;
+use rand::Rng;
+
+/// Result of one ping run (the paper's 30-probe test).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PingStats {
+    /// RTTs of the probes that returned, in ms, in send order.
+    pub rtts_ms: Vec<f64>,
+    /// Number of probes that were lost.
+    pub lost: usize,
+}
+
+impl PingStats {
+    /// Number of probes sent.
+    pub fn sent(&self) -> usize {
+        self.rtts_ms.len() + self.lost
+    }
+
+    /// Mean RTT of returned probes; `None` if everything was lost.
+    pub fn mean_rtt_ms(&self) -> Option<f64> {
+        if self.rtts_ms.is_empty() {
+            return None;
+        }
+        Some(self.rtts_ms.iter().sum::<f64>() / self.rtts_ms.len() as f64)
+    }
+
+    /// Population std-dev of returned probes; `None` if fewer than two.
+    pub fn std_rtt_ms(&self) -> Option<f64> {
+        if self.rtts_ms.len() < 2 {
+            return None;
+        }
+        let m = self.mean_rtt_ms().unwrap();
+        let v = self
+            .rtts_ms
+            .iter()
+            .map(|x| (x - m) * (x - m))
+            .sum::<f64>()
+            / self.rtts_ms.len() as f64;
+        Some(v.sqrt())
+    }
+
+    /// Coefficient of variation (std/mean), the paper's jitter metric
+    /// (Fig. 2b). `None` if fewer than two probes returned.
+    pub fn cv(&self) -> Option<f64> {
+        match (self.std_rtt_ms(), self.mean_rtt_ms()) {
+            (Some(s), Some(m)) if m > 0.0 => Some(s / m),
+            _ => None,
+        }
+    }
+
+    /// Fraction of probes lost.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent() == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent() as f64
+        }
+    }
+}
+
+/// Ping engine with optional fault injection.
+#[derive(Debug, Clone, Default)]
+pub struct PingEngine {
+    /// Fault injection applied to every probe.
+    pub fault: FaultInjector,
+}
+
+impl PingEngine {
+    /// Engine with no fault injection (the experiments' configuration).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with a fault injector.
+    pub fn with_fault(fault: FaultInjector) -> Self {
+        PingEngine { fault }
+    }
+
+    /// Run `n` echo probes along `path`.
+    pub fn probe(&self, rng: &mut impl Rng, path: &Path, n: usize) -> PingStats {
+        let mut rtts = Vec::with_capacity(n);
+        let mut lost = 0;
+        let loss_p = path.loss_probability();
+        let mean = path.mean_rtt_ms();
+        for _ in 0..n {
+            if rng.gen::<f64>() < loss_p || self.fault.drops(rng) {
+                lost += 1;
+                continue;
+            }
+            let raw = path.sample_rtt_ms(rng);
+            rtts.push(self.fault.amplify_jitter(mean, raw));
+        }
+        PingStats {
+            rtts_ms: rtts,
+            lost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessNetwork;
+    use crate::path::{PathModel, TargetClass};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_path(seed: u64) -> Path {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PathModel::paper_default().ue_path(
+            &mut rng,
+            AccessNetwork::Wifi,
+            25.0,
+            TargetClass::EdgeSite,
+        )
+    }
+
+    #[test]
+    fn thirty_probe_run_matches_methodology() {
+        let path = sample_path(1);
+        let eng = PingEngine::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let stats = eng.probe(&mut rng, &path, 30);
+        assert_eq!(stats.sent(), 30);
+        assert!(stats.rtts_ms.len() >= 25, "lost {}", stats.lost);
+        let mean = stats.mean_rtt_ms().unwrap();
+        assert!((mean - path.mean_rtt_ms()).abs() / path.mean_rtt_ms() < 0.15);
+    }
+
+    #[test]
+    fn cv_defined_and_small_on_edge_path() {
+        let path = sample_path(3);
+        let eng = PingEngine::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let stats = eng.probe(&mut rng, &path, 30);
+        let cv = stats.cv().unwrap();
+        assert!(cv > 0.0 && cv < 0.06, "cv {cv}");
+    }
+
+    #[test]
+    fn total_loss_yields_none() {
+        let path = sample_path(5);
+        let eng = PingEngine::with_fault(FaultInjector {
+            drop_chance: 1.0,
+            ..FaultInjector::none()
+        });
+        let mut rng = StdRng::seed_from_u64(6);
+        let stats = eng.probe(&mut rng, &path, 10);
+        assert_eq!(stats.lost, 10);
+        assert_eq!(stats.mean_rtt_ms(), None);
+        assert_eq!(stats.cv(), None);
+        assert_eq!(stats.loss_rate(), 1.0);
+    }
+
+    #[test]
+    fn hostile_fault_raises_cv() {
+        let path = sample_path(7);
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let clean = PingEngine::new().probe(&mut rng_a, &path, 30);
+        let noisy = PingEngine::with_fault(FaultInjector {
+            jitter_scale: 5.0,
+            ..FaultInjector::none()
+        })
+        .probe(&mut rng_b, &path, 30);
+        assert!(noisy.cv().unwrap() > clean.cv().unwrap());
+    }
+
+    #[test]
+    fn empty_run() {
+        let path = sample_path(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let stats = PingEngine::new().probe(&mut rng, &path, 0);
+        assert_eq!(stats.sent(), 0);
+        assert_eq!(stats.loss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Distribution sampling helpers.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! handful of distributions the simulator needs are implemented here:
+//! normal (Box–Muller), log-normal, truncated normal, and exponential.
+
+use rand::Rng;
+
+/// Sample a standard normal via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Guard u1 away from 0 so ln() is finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample N(mean, std).
+pub fn normal(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    assert!(std >= 0.0, "negative std");
+    mean + std * standard_normal(rng)
+}
+
+/// Sample N(mean, std) truncated to `[lo, hi]` by resampling (falls back to
+/// clamping after 64 rejections so degenerate parameters can't spin).
+pub fn truncated_normal(rng: &mut impl Rng, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "truncation bounds inverted");
+    for _ in 0..64 {
+        let x = normal(rng, mean, std);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    mean.clamp(lo, hi)
+}
+
+/// Sample LogNormal(mu, sigma) — i.e. exp(N(mu, sigma)).
+pub fn log_normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Log-normal parameterized by its own mean and coefficient of variation
+/// (more convenient for latency calibration: "this hop averages 7 ms with
+/// 10 % relative jitter").
+pub fn log_normal_mean_cv(rng: &mut impl Rng, mean: f64, cv: f64) -> f64 {
+    assert!(mean > 0.0, "log-normal mean must be positive");
+    assert!(cv >= 0.0, "negative cv");
+    if cv == 0.0 {
+        return mean;
+    }
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    log_normal(rng, mu, sigma2.sqrt())
+}
+
+/// Sample Exp(rate); mean = 1/rate.
+pub fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Sample a bounded Pareto with shape `alpha` on `[lo, hi]` — used for
+/// heavy-tailed populations (per-app VM counts, storage sizes).
+pub fn bounded_pareto(rng: &mut impl Rng, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(alpha > 0.0 && lo > 0.0 && hi > lo, "bad pareto parameters");
+    let u: f64 = rng.gen::<f64>();
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // Inverse CDF of the bounded Pareto.
+    (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let x = truncated_normal(&mut r, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn log_normal_mean_cv_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| log_normal_mean_cv(&mut r, 10.0, 0.3))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+        assert!((var.sqrt() / mean - 0.3).abs() < 0.03, "cv {}", var.sqrt() / mean);
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn log_normal_zero_cv_is_deterministic() {
+        let mut r = rng();
+        assert_eq!(log_normal_mean_cv(&mut r, 7.0, 0.0), 7.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| exponential(&mut r, 0.5)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_in_range_and_skewed() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| bounded_pareto(&mut r, 1.2, 1.0, 1000.0))
+            .collect();
+        assert!(xs.iter().all(|&x| (1.0..=1000.0).contains(&x)));
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[xs.len() / 2];
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean > 2.0 * median, "heavy tail: mean {mean} median {median}");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
+        }
+    }
+}

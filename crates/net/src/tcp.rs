@@ -1,0 +1,237 @@
+//! TCP throughput model and iperf3 simulation.
+//!
+//! §3.2's finding is that end-to-end throughput is
+//! `min(last-mile capacity, DC gateway allocation, Internet-path capacity)`
+//! where the Internet-path term follows the macroscopic TCP model of
+//! Mathis et al. (the paper cites it as \[62\]):
+//!
+//! ```text
+//! throughput ≈ (MSS / RTT) · (C / √p)      with C ≈ 1.22 (Reno, delayed acks off)
+//! ```
+//!
+//! so the Internet term — and only it — degrades with distance (RTT grows
+//! and loss accumulates over backbone hops). The [`ThroughputModel`]
+//! computes all three terms; [`ThroughputModel::iperf`] runs the paper's
+//! 15-second iPerf3 test with a slow-start ramp and per-second sampling.
+
+use crate::fault::FaultInjector;
+use crate::path::Path;
+use crate::rng::log_normal_mean_cv;
+use rand::Rng;
+
+/// Direction of an iperf run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Server-to-UE direction.
+    Downlink,
+    /// UE-to-server direction.
+    Uplink,
+}
+
+/// Result of a simulated iperf3 run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IperfReport {
+    /// Per-second goodput samples in Mbps.
+    pub per_second_mbps: Vec<f64>,
+    /// The run's mean goodput (what the paper's Fig. 5 plots per point).
+    pub mean_mbps: f64,
+    /// Which term bound the steady-state rate.
+    pub bottleneck: Bottleneck,
+}
+
+/// Which of the three capacity terms was binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// The wireless/wired last mile (WiFi/LTE and 5G-uplink regime).
+    LastMile,
+    /// The DC gateway bandwidth allocated to the VM.
+    DcGateway,
+    /// The RTT/loss-limited Internet path (5G-downlink/wired regime).
+    InternetPath,
+}
+
+/// TCP throughput calibration.
+#[derive(Debug, Clone)]
+pub struct ThroughputModel {
+    /// TCP maximum segment size in bytes.
+    pub mss_bytes: f64,
+    /// Mathis constant (≈1.22 for Reno with every-packet acks).
+    pub mathis_c: f64,
+    /// Baseline segment-loss probability of any Internet path.
+    pub base_loss: f64,
+    /// Additional loss per backbone hop traversed.
+    pub loss_per_wan_hop: f64,
+    /// DC gateway capacity allocated to the tested VM (Mbps). The paper
+    /// provisioned 1 Gbps per throughput VM.
+    pub gateway_mbps: f64,
+    /// Relative per-second goodput fluctuation in steady state.
+    pub steady_cv: f64,
+    /// Fault injection applied to the TCP model.
+    pub fault: FaultInjector,
+}
+
+impl ThroughputModel {
+    /// Calibration fitted to Fig. 5 (see crate docs).
+    pub fn paper_default() -> Self {
+        ThroughputModel {
+            mss_bytes: 1460.0,
+            mathis_c: 1.22,
+            base_loss: 5.5e-7,
+            loss_per_wan_hop: 3.0e-7,
+            gateway_mbps: 1000.0,
+            steady_cv: 0.06,
+            fault: FaultInjector::none(),
+        }
+    }
+
+    /// Effective segment-loss probability of `path`.
+    pub fn path_loss(&self, path: &Path) -> f64 {
+        self.base_loss
+            + self.loss_per_wan_hop * path.wan_hop_count() as f64
+            + self.fault.extra_tcp_loss
+    }
+
+    /// The Mathis-model Internet-path capacity of `path`, in Mbps.
+    pub fn internet_capacity_mbps(&self, path: &Path) -> f64 {
+        let rtt_s = (path.mean_rtt_ms() / 1000.0).max(1e-4);
+        let p = self.path_loss(path).max(1e-9);
+        self.mss_bytes * 8.0 / 1e6 / rtt_s * self.mathis_c / p.sqrt()
+    }
+
+    /// Steady-state goodput and the binding bottleneck for a given
+    /// last-mile capacity.
+    pub fn steady_state_mbps(&self, path: &Path, last_mile_mbps: f64) -> (f64, Bottleneck) {
+        let internet = self.internet_capacity_mbps(path);
+        let mut rate = last_mile_mbps;
+        let mut bn = Bottleneck::LastMile;
+        if self.gateway_mbps < rate {
+            rate = self.gateway_mbps;
+            bn = Bottleneck::DcGateway;
+        }
+        if internet < rate {
+            rate = internet;
+            bn = Bottleneck::InternetPath;
+        }
+        (rate, bn)
+    }
+
+    /// Simulate a `secs`-second iperf3 run (the paper used 15 s per
+    /// connection). `last_mile_mbps` is the user's sampled access capacity
+    /// for the tested direction.
+    pub fn iperf(
+        &self,
+        rng: &mut impl Rng,
+        path: &Path,
+        last_mile_mbps: f64,
+        secs: usize,
+    ) -> IperfReport {
+        assert!(secs > 0, "iperf needs at least one second");
+        assert!(last_mile_mbps > 0.0, "non-positive last-mile capacity");
+        let (steady, bottleneck) = self.steady_state_mbps(path, last_mile_mbps);
+        let mut per_second = Vec::with_capacity(secs);
+        for s in 0..secs {
+            // Slow-start ramp: the first two seconds run below steady state
+            // (iPerf3's omit-less default shows the same shape).
+            let ramp = match s {
+                0 => 0.45,
+                1 => 0.85,
+                _ => 1.0,
+            };
+            let v = log_normal_mean_cv(rng, steady * ramp, self.steady_cv);
+            per_second.push(v.min(last_mile_mbps.max(steady) * 1.2));
+        }
+        let mean = per_second.iter().sum::<f64>() / per_second.len() as f64;
+        IperfReport {
+            per_second_mbps: per_second,
+            mean_mbps: mean,
+            bottleneck,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessNetwork;
+    use crate::path::{PathModel, TargetClass};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path(d: f64, seed: u64) -> Path {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PathModel::paper_default().ue_path(
+            &mut rng,
+            AccessNetwork::FiveG,
+            d,
+            TargetClass::EdgeSite,
+        )
+    }
+
+    #[test]
+    fn mathis_decreases_with_distance() {
+        let m = ThroughputModel::paper_default();
+        let near = m.internet_capacity_mbps(&path(20.0, 1));
+        let mid = m.internet_capacity_mbps(&path(800.0, 1));
+        let far = m.internet_capacity_mbps(&path(2500.0, 1));
+        assert!(near > mid && mid > far, "near {near} mid {mid} far {far}");
+        assert!(near > 600.0, "near path should not be Internet-bound: {near}");
+    }
+
+    #[test]
+    fn wifi_is_last_mile_bound_even_far() {
+        // §3.2: with WiFi/LTE the wireless hop is the bottleneck regardless
+        // of distance.
+        let m = ThroughputModel::paper_default();
+        let (rate, bn) = m.steady_state_mbps(&path(2800.0, 2), 70.0);
+        assert_eq!(bn, Bottleneck::LastMile);
+        assert_eq!(rate, 70.0);
+    }
+
+    #[test]
+    fn five_g_downlink_internet_bound_when_far() {
+        let m = ThroughputModel::paper_default();
+        let (_, bn_near) = m.steady_state_mbps(&path(20.0, 3), 640.0);
+        let (rate_far, bn_far) = m.steady_state_mbps(&path(2500.0, 3), 640.0);
+        assert_eq!(bn_near, Bottleneck::LastMile);
+        assert_eq!(bn_far, Bottleneck::InternetPath);
+        assert!(rate_far < 400.0, "far rate {rate_far}");
+    }
+
+    #[test]
+    fn gateway_caps_wired_giants() {
+        let m = ThroughputModel::paper_default();
+        let (rate, bn) = m.steady_state_mbps(&path(10.0, 4), 5000.0);
+        assert_eq!(bn, Bottleneck::DcGateway);
+        assert_eq!(rate, 1000.0);
+    }
+
+    #[test]
+    fn iperf_fifteen_seconds() {
+        let m = ThroughputModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = path(100.0, 5);
+        let rep = m.iperf(&mut rng, &p, 70.0, 15);
+        assert_eq!(rep.per_second_mbps.len(), 15);
+        // Slow start: first second clearly below steady state.
+        assert!(rep.per_second_mbps[0] < rep.per_second_mbps[5]);
+        assert!((rep.mean_mbps - 70.0).abs() / 70.0 < 0.25, "mean {}", rep.mean_mbps);
+    }
+
+    #[test]
+    fn fault_injection_reduces_internet_capacity() {
+        let mut m = ThroughputModel::paper_default();
+        let clean = m.internet_capacity_mbps(&path(1500.0, 6));
+        m.fault = FaultInjector::hostile();
+        let faulty = m.internet_capacity_mbps(&path(1500.0, 6));
+        assert!(faulty < clean / 2.0, "clean {clean} faulty {faulty}");
+    }
+
+    #[test]
+    fn iperf_deterministic() {
+        let m = ThroughputModel::paper_default();
+        let p = path(300.0, 7);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(m.iperf(&mut a, &p, 50.0, 15), m.iperf(&mut b, &p, 50.0, 15));
+    }
+}

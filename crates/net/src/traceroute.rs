@@ -1,0 +1,159 @@
+//! Traceroute: per-hop cumulative RTTs with ISP visibility filtering.
+//!
+//! §3.1's Table 2 breaks the end-to-end RTT into the first three hops plus
+//! "rest"; §3.1 also notes the 5G operator disables ICMP on its first hops
+//! so only a first-3-hops total is observable. [`traceroute`] reproduces
+//! both: it reports, per hop, the cumulative RTT up to that hop and whether
+//! the hop answered.
+
+use crate::path::{HopKind, Path};
+use rand::Rng;
+
+/// One hop's traceroute line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracerouteHop {
+    /// 1-based hop index.
+    pub index: usize,
+    /// What the hop physically is.
+    pub kind: HopKind,
+    /// Cumulative RTT from the UE up to and including this hop (ms), if the
+    /// hop answered.
+    pub cumulative_rtt_ms: Option<f64>,
+    /// This hop's own RTT contribution (ms) — what Table 2 aggregates.
+    /// Present even for silent hops (the simulator knows ground truth; the
+    /// *report* hides it, see [`TracerouteReport::observed_segments`]).
+    pub hop_rtt_ms: f64,
+}
+
+/// A full traceroute run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracerouteReport {
+    /// Per-hop lines, in path order.
+    pub hops: Vec<TracerouteHop>,
+}
+
+impl TracerouteReport {
+    /// End-to-end RTT of this run (ms).
+    pub fn total_rtt_ms(&self) -> f64 {
+        self.hops.iter().map(|h| h.hop_rtt_ms).sum()
+    }
+
+    /// Number of hops (including silent ones — traceroute still counts
+    /// them as `* * *` lines).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Ground-truth latency shares of hop 1, hop 2, hop 3, and the rest —
+    /// the Table 2 breakdown — as fractions summing to 1.
+    pub fn hop_shares(&self) -> (f64, f64, f64, f64) {
+        let total = self.total_rtt_ms();
+        let h = |i: usize| self.hops.get(i).map_or(0.0, |h| h.hop_rtt_ms);
+        let rest: f64 = self.hops.iter().skip(3).map(|h| h.hop_rtt_ms).sum();
+        (h(0) / total, h(1) / total, h(2) / total, rest / total)
+    }
+
+    /// What an external observer can measure: the share of the first three
+    /// hops *in total* and the rest. When leading hops are ICMP-silent
+    /// (5G), per-hop attribution inside the first three is impossible but
+    /// the cumulative RTT at hop 3 still reveals their total — exactly how
+    /// the paper reports its 5G row.
+    pub fn observed_segments(&self) -> (f64, f64) {
+        let total = self.total_rtt_ms();
+        let first3: f64 = self.hops.iter().take(3).map(|h| h.hop_rtt_ms).sum();
+        (first3 / total, 1.0 - first3 / total)
+    }
+}
+
+/// Run one traceroute over `path`.
+pub fn traceroute(rng: &mut impl Rng, path: &Path) -> TracerouteReport {
+    let mut cumulative = 0.0;
+    let mut hops = Vec::with_capacity(path.hop_count());
+    for (i, hop) in path.hops().iter().enumerate() {
+        let rtt = hop.sample_rtt_ms(rng);
+        cumulative += rtt;
+        hops.push(TracerouteHop {
+            index: i + 1,
+            kind: hop.kind,
+            cumulative_rtt_ms: hop.visible.then_some(cumulative),
+            hop_rtt_ms: rtt,
+        });
+    }
+    TracerouteReport { hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessNetwork;
+    use crate::path::{PathModel, TargetClass};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(access: AccessNetwork, d: f64, t: TargetClass, seed: u64) -> TracerouteReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PathModel::paper_default().ue_path(&mut rng, access, d, t);
+        traceroute(&mut rng, &p)
+    }
+
+    #[test]
+    fn cumulative_rtts_monotone() {
+        let r = run(AccessNetwork::Wifi, 800.0, TargetClass::CloudRegion, 1);
+        let mut last = 0.0;
+        for h in &r.hops {
+            let c = h.cumulative_rtt_ms.expect("wifi hops all visible");
+            assert!(c > last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let r = run(AccessNetwork::Lte, 300.0, TargetClass::CloudRegion, 2);
+        let (a, b, c, rest) = r.hop_shares();
+        assert!((a + b + c + rest - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wifi_first_hop_dominates_edge_paths() {
+        // Table 2: WiFi first hop ≈44 % of the RTT to the nearest edge.
+        let mut shares = Vec::new();
+        for seed in 0..200 {
+            let r = run(AccessNetwork::Wifi, 20.0, TargetClass::EdgeSite, seed);
+            shares.push(r.hop_shares().0);
+        }
+        let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+        assert!((mean - 0.44).abs() < 0.08, "wifi hop-1 share {mean}");
+    }
+
+    #[test]
+    fn lte_second_hop_dominates() {
+        // Table 2: LTE second hop ≈70 % to the nearest edge.
+        let mut shares = Vec::new();
+        for seed in 200..400 {
+            let r = run(AccessNetwork::Lte, 20.0, TargetClass::EdgeSite, seed);
+            shares.push(r.hop_shares().1);
+        }
+        let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+        assert!((mean - 0.70).abs() < 0.08, "lte hop-2 share {mean}");
+    }
+
+    #[test]
+    fn five_g_first_hops_silent_but_total_observable() {
+        let r = run(AccessNetwork::FiveG, 20.0, TargetClass::EdgeSite, 3);
+        assert_eq!(r.hops[0].cumulative_rtt_ms, None);
+        assert_eq!(r.hops[1].cumulative_rtt_ms, None);
+        assert!(r.hops[2].cumulative_rtt_ms.is_some());
+        let (first3, rest) = r.observed_segments();
+        // Table 2: 5G first-3-hops ≈98 % to the nearest edge.
+        assert!(first3 > 0.90, "first3 share {first3}");
+        assert!((first3 + rest - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(AccessNetwork::Wifi, 500.0, TargetClass::CloudRegion, 42);
+        let b = run(AccessNetwork::Wifi, 500.0, TargetClass::CloudRegion, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the network simulator.
+
+use edgescope_net::access::AccessNetwork;
+use edgescope_net::fault::FaultInjector;
+use edgescope_net::path::{PathModel, TargetClass};
+use edgescope_net::ping::PingEngine;
+use edgescope_net::rng::{bounded_pareto, log_normal_mean_cv, truncated_normal};
+use edgescope_net::tcp::ThroughputModel;
+use edgescope_net::traceroute::traceroute;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn access(idx: usize) -> AccessNetwork {
+    AccessNetwork::ALL[idx % 4]
+}
+
+proptest! {
+    #[test]
+    fn traceroute_cumulative_monotone(
+        seed in 0u64..3000,
+        d in 0.0..3500.0f64,
+        a in 0usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = PathModel::paper_default();
+        let path = model.ue_path(&mut rng, access(a), d, TargetClass::CloudRegion);
+        let report = traceroute(&mut rng, &path);
+        prop_assert_eq!(report.hop_count(), path.hop_count());
+        let mut last = 0.0;
+        for h in &report.hops {
+            prop_assert!(h.hop_rtt_ms > 0.0);
+            if let Some(c) = h.cumulative_rtt_ms {
+                prop_assert!(c > last);
+                last = c;
+            }
+        }
+        let (a1, a2, a3, rest) = report.hop_shares();
+        prop_assert!((a1 + a2 + a3 + rest - 1.0).abs() < 1e-9);
+        prop_assert!(a1 >= 0.0 && a2 >= 0.0 && a3 >= 0.0 && rest >= -1e-12);
+    }
+
+    #[test]
+    fn ping_never_loses_more_than_sent(
+        seed in 0u64..2000,
+        n in 1usize..60,
+        drop in 0.0..1.0f64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = PathModel::paper_default();
+        let path = model.ue_path(&mut rng, AccessNetwork::Lte, 500.0, TargetClass::EdgeSite);
+        let engine = PingEngine::with_fault(FaultInjector {
+            drop_chance: drop,
+            ..FaultInjector::none()
+        });
+        let stats = engine.probe(&mut rng, &path, n);
+        prop_assert_eq!(stats.sent(), n);
+        prop_assert!(stats.lost <= n);
+        prop_assert!((0.0..=1.0).contains(&stats.loss_rate()));
+        for r in &stats.rtts_ms {
+            prop_assert!(*r > 0.0);
+        }
+    }
+
+    #[test]
+    fn iperf_steady_state_bounded(
+        seed in 0u64..2000,
+        d in 0.0..3000.0f64,
+        cap in 1.0..2000.0f64,
+        secs in 1usize..30,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = PathModel::paper_default();
+        let tcp = ThroughputModel::paper_default();
+        let path = model.ue_path(&mut rng, AccessNetwork::FiveG, d, TargetClass::EdgeSite);
+        let (steady, _) = tcp.steady_state_mbps(&path, cap);
+        prop_assert!(steady > 0.0);
+        prop_assert!(steady <= cap + 1e-9, "never beyond last mile");
+        prop_assert!(steady <= tcp.gateway_mbps + 1e-9, "never beyond gateway");
+        let report = tcp.iperf(&mut rng, &path, cap, secs);
+        prop_assert_eq!(report.per_second_mbps.len(), secs);
+        for v in &report.per_second_mbps {
+            prop_assert!(*v > 0.0);
+        }
+    }
+
+    #[test]
+    fn extra_loss_never_raises_capacity(
+        seed in 0u64..1000,
+        d in 0.0..3000.0f64,
+        extra in 0.0..1e-3f64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = PathModel::paper_default();
+        let path = model.ue_path(&mut rng, AccessNetwork::Wired, d, TargetClass::EdgeSite);
+        let clean = ThroughputModel::paper_default();
+        let mut faulty = ThroughputModel::paper_default();
+        faulty.fault.extra_tcp_loss = extra;
+        prop_assert!(faulty.internet_capacity_mbps(&path) <= clean.internet_capacity_mbps(&path) + 1e-9);
+    }
+
+    #[test]
+    fn distributions_respect_supports(
+        seed in 0u64..2000,
+        mean in 0.1..100.0f64,
+        cv in 0.0..2.0f64,
+        alpha in 0.1..3.0f64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(log_normal_mean_cv(&mut rng, mean, cv) > 0.0);
+        let t = truncated_normal(&mut rng, 0.0, 1.0, -2.0, 2.0);
+        prop_assert!((-2.0..=2.0).contains(&t));
+        let p = bounded_pareto(&mut rng, alpha, 1.0, 1000.0);
+        prop_assert!((1.0..=1000.0 + 1e-9).contains(&p));
+    }
+
+    #[test]
+    fn intersite_paths_scale_with_distance(seed in 0u64..1000, d in 0.0..4000.0f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = PathModel::paper_default();
+        let p = model.intersite_path(&mut rng, d);
+        prop_assert!(p.mean_rtt_ms() > 0.0);
+        prop_assert!(p.mean_rtt_ms() < 50.0 + d * 0.2, "rtt {} at {d} km", p.mean_rtt_ms());
+        prop_assert!(p.hop_count() >= 3);
+    }
+}

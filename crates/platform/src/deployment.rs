@@ -1,0 +1,276 @@
+//! Deployment builders and nearest-site queries.
+//!
+//! Two deployment shapes from the paper:
+//! * **NEP** (edge): >500 sites spread across Chinese cities, each with
+//!   tens to low-hundreds of servers (§2: "an NEP site typically hosts
+//!   only tens or hundreds of servers");
+//! * **cloud** (AliCloud-like): a dozen large regions in major cities.
+//!
+//! Sites are sampled over the gazetteer with population weighting —
+//! populous metros host several sites, small cities at most one — matching
+//! how commercial edge capacity follows demand (§4.1's geo-skew).
+
+use crate::geo_china::{City, CITIES};
+use crate::ids::SiteId;
+use crate::resources::ServerCapacity;
+use crate::site::Site;
+use edgescope_net::geo::GeoPoint;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which platform a deployment models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentKind {
+    /// Dense edge platform (NEP).
+    Edge,
+    /// Sparse cloud platform (AliCloud / Huawei / Azure-like).
+    Cloud,
+}
+
+/// A set of sites forming one platform.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Edge or cloud.
+    pub kind: DeploymentKind,
+    /// The sites, indexable by `SiteId`.
+    pub sites: Vec<Site>,
+}
+
+impl Deployment {
+    /// Build an NEP-like edge deployment of `n_sites` sites with the
+    /// paper's "tens to hundreds" of servers per site (10–180).
+    pub fn nep(rng: &mut impl Rng, n_sites: usize) -> Self {
+        Self::nep_custom(rng, n_sites, 10, 180)
+    }
+
+    /// NEP deployment with a custom servers-per-site range — workload
+    /// studies use smaller sites so the placed population reaches
+    /// realistic sales ratios.
+    ///
+    /// Site count per city is proportional to population (each city gets at
+    /// least a chance); each site is offset up to ~30 km from the city
+    /// centroid (edge DCs sit in suburbs and counties). Server capacity
+    /// models commodity 2-socket boxes with memory-rich configs (8 GB per
+    /// core — why §4.1 sees CPU sell out about twice as fast as memory).
+    pub fn nep_custom(
+        rng: &mut impl Rng,
+        n_sites: usize,
+        min_servers: usize,
+        max_servers: usize,
+    ) -> Self {
+        assert!(n_sites > 0, "deployment needs sites");
+        assert!(min_servers > 0 && max_servers >= min_servers, "bad server range");
+        let total_weight: f64 = CITIES.iter().map(|c| c.population_m).sum();
+        let mut cities: Vec<City> = Vec::with_capacity(n_sites);
+        // Deterministic proportional allocation, then randomized remainder.
+        let mut assigned = 0usize;
+        for c in CITIES {
+            let share = (c.population_m / total_weight * n_sites as f64).floor() as usize;
+            for _ in 0..share {
+                cities.push(*c);
+            }
+            assigned += share;
+        }
+        while assigned < n_sites {
+            // Weighted draw for the remainder.
+            let mut t = rng.gen::<f64>() * total_weight;
+            let mut chosen = CITIES[0];
+            for c in CITIES {
+                t -= c.population_m;
+                if t <= 0.0 {
+                    chosen = *c;
+                    break;
+                }
+            }
+            cities.push(chosen);
+            assigned += 1;
+        }
+        cities.shuffle(rng);
+        cities.truncate(n_sites);
+
+        let mut next_server = 0u32;
+        let sites = cities
+            .into_iter()
+            .enumerate()
+            .map(|(i, city)| {
+                let n_servers = rng.gen_range(min_servers..=max_servers);
+                let cores = *[48u32, 64, 96, 128].choose(rng).unwrap();
+                let capacity = ServerCapacity::new(cores, cores * 8, 16_000);
+                let location = GeoPoint::new(
+                    (city.lat_deg + rng.gen_range(-0.28..0.28)).clamp(-90.0, 90.0),
+                    (city.lon_deg + rng.gen_range(-0.28..0.28)).clamp(-180.0, 180.0),
+                );
+                Site::uniform_at(SiteId(i as u32), city, location, n_servers, capacity, &mut next_server)
+            })
+            .collect();
+        Deployment {
+            kind: DeploymentKind::Edge,
+            sites,
+        }
+    }
+
+    /// Build a cloud deployment with regions at the named cities.
+    /// Each region gets a uniform large server pool (the exact size is
+    /// irrelevant to latency experiments; billing uses tariffs, not
+    /// servers).
+    pub fn cloud(region_cities: &[&str]) -> Self {
+        assert!(!region_cities.is_empty(), "cloud needs regions");
+        let mut next_server = 0u32;
+        let sites = region_cities
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let city = *crate::geo_china::city_by_name(name)
+                    .unwrap_or_else(|| panic!("unknown region city: {name}"));
+                Site::uniform(
+                    SiteId(i as u32),
+                    city,
+                    50, // representative slice of a huge region
+                    ServerCapacity::new(128, 512, 16_000),
+                    &mut next_server,
+                )
+            })
+            .collect();
+        Deployment {
+            kind: DeploymentKind::Cloud,
+            sites,
+        }
+    }
+
+    /// AliCloud's China footprint (vCloud-1 in §4.5): 12 regions. Region
+    /// cities are mapped onto the gazetteer (Zhangjiakou/Ulanqab, which the
+    /// gazetteer lacks, are represented by their nearest entries Datong and
+    /// Hohhot).
+    pub fn alicloud() -> Self {
+        Deployment::cloud(&[
+            "Beijing", "Shanghai", "Hangzhou", "Shenzhen", "Guangzhou", "Qingdao",
+            "Datong", "Hohhot", "Chengdu", "Chongqing", "Wuhan", "Fuzhou",
+        ])
+    }
+
+    /// Huawei Cloud's China footprint (vCloud-2): 5 regions.
+    pub fn huawei_cloud() -> Self {
+        Deployment::cloud(&["Beijing", "Shanghai", "Guangzhou", "Guiyang", "Urumqi"])
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.sites.iter().map(|s| s.servers.len()).sum()
+    }
+
+    /// Sites sorted by distance from `from`, nearest first, as
+    /// `(site index, distance km)`.
+    pub fn sites_by_distance(&self, from: GeoPoint) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.geo().distance_km(&from)))
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        v
+    }
+
+    /// The `k`-th nearest site to `from` (0 = nearest).
+    pub fn kth_nearest(&self, from: GeoPoint, k: usize) -> (usize, f64) {
+        let v = self.sites_by_distance(from);
+        v[k.min(v.len() - 1)]
+    }
+
+    /// Sites in a province (indices).
+    pub fn sites_in_province(&self, province: &str) -> Vec<usize> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.province() == province)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nep_scale_and_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Deployment::nep(&mut rng, 520);
+        assert_eq!(d.n_sites(), 520);
+        assert_eq!(d.kind, DeploymentKind::Edge);
+        // Tens-to-hundreds of servers per site.
+        for s in &d.sites {
+            assert!((10..=180).contains(&s.servers.len()));
+        }
+        // Big metros host multiple sites.
+        let beijing_sites = d
+            .sites
+            .iter()
+            .filter(|s| s.city.name == "Beijing")
+            .count();
+        assert!(beijing_sites >= 3, "beijing sites {beijing_sites}");
+    }
+
+    #[test]
+    fn cloud_regions() {
+        let ali = Deployment::alicloud();
+        assert_eq!(ali.n_sites(), 12);
+        assert_eq!(ali.kind, DeploymentKind::Cloud);
+        let hw = Deployment::huawei_cloud();
+        assert_eq!(hw.n_sites(), 5);
+    }
+
+    #[test]
+    fn edge_denser_than_cloud() {
+        // Table 1's whole point: NEP density is orders of magnitude higher.
+        let mut rng = StdRng::seed_from_u64(2);
+        let nep = Deployment::nep(&mut rng, 520);
+        let ali = Deployment::alicloud();
+        assert!(nep.n_sites() > 40 * ali.n_sites());
+    }
+
+    #[test]
+    fn nearest_site_ordering() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Deployment::nep(&mut rng, 200);
+        let from = crate::geo_china::city_by_name("Wuhan").unwrap().geo();
+        let ordered = d.sites_by_distance(from);
+        assert_eq!(ordered.len(), 200);
+        for w in ordered.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        let (idx0, d0) = d.kth_nearest(from, 0);
+        assert_eq!((idx0, d0), ordered[0]);
+        // A 200-site deployment almost surely has a site in Wuhan itself.
+        assert!(d0 < 200.0, "nearest {d0} km");
+    }
+
+    #[test]
+    fn province_filter() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Deployment::nep(&mut rng, 520);
+        let gd = d.sites_in_province("Guangdong");
+        assert!(gd.len() >= 11, "guangdong sites {}", gd.len());
+        for i in gd {
+            assert_eq!(d.sites[i].province(), "Guangdong");
+        }
+    }
+
+    #[test]
+    fn deterministic_deployment() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let da = Deployment::nep(&mut a, 100);
+        let db = Deployment::nep(&mut b, 100);
+        let ca: Vec<&str> = da.sites.iter().map(|s| s.city.name).collect();
+        let cb: Vec<&str> = db.sites.iter().map(|s| s.city.name).collect();
+        assert_eq!(ca, cb);
+    }
+}

@@ -1,0 +1,341 @@
+//! NEP's VM placement policy.
+//!
+//! §2 ("NEP operation"): a customer submits a geographic resource request —
+//! *"I need 10 virtual machines in Guangdong province, each with 16 CPU
+//! cores and 32GB memory"* — and NEP returns one feasible allocation,
+//! favouring "the servers that are low in usage in terms of the sales
+//! ratio and actual CPU usage (mean and max)".
+//!
+//! [`PlacementPolicy::place`] implements exactly that: filter feasible
+//! servers in the requested scope, score each by a weighted combination of
+//! CPU sales ratio and observed CPU utilization, and fill the request
+//! lowest-score-first (re-scoring as allocations land, since each placed VM
+//! raises its server's sales ratio).
+
+use crate::deployment::Deployment;
+use crate::ids::{ServerId, SiteId, VmId};
+use crate::resources::VmSpec;
+
+/// Geographic scope of a subscription request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// Any site in the named province.
+    Province(String),
+    /// Any site in the named city.
+    City(String),
+    /// A specific site.
+    Site(SiteId),
+    /// Anywhere on the platform.
+    Anywhere,
+}
+
+/// A customer's subscription request (§2's example shape).
+#[derive(Debug, Clone)]
+pub struct SubscriptionRequest {
+    /// Where the VMs must land.
+    pub scope: Scope,
+    /// How many VMs.
+    pub count: usize,
+    /// Resources per VM.
+    pub spec: VmSpec,
+}
+
+/// Why a placement failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// No site matches the scope.
+    NoSuchScope,
+    /// Fewer than `count` feasible slots exist; carries how many were
+    /// placeable.
+    /// Fewer than `count` feasible slots exist; carries how many were placeable.
+    InsufficientCapacity {
+        /// VMs that could be placed before the request failed.
+        placeable: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoSuchScope => write!(f, "no site matches the requested scope"),
+            PlacementError::InsufficientCapacity { placeable } => {
+                write!(f, "insufficient capacity: only {placeable} VMs placeable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// One placed VM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// The assigned VM id.
+    pub vm: VmId,
+    /// Hosting site.
+    pub site: SiteId,
+    /// Hosting server.
+    pub server: ServerId,
+}
+
+/// The placement policy with its scoring weights.
+#[derive(Debug, Clone)]
+pub struct PlacementPolicy {
+    /// Weight of the CPU sales ratio in the server score.
+    pub w_sales: f64,
+    /// Weight of the observed CPU utilization.
+    pub w_util: f64,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        // NEP names both criteria; equal weighting is the neutral reading.
+        PlacementPolicy {
+            w_sales: 0.5,
+            w_util: 0.5,
+        }
+    }
+}
+
+impl PlacementPolicy {
+    /// Place `req.count` VMs of `req.spec` in `req.scope`, mutating the
+    /// deployment's allocation state. VM ids are assigned from
+    /// `next_vm_id` (incremented per placement). On
+    /// [`PlacementError::InsufficientCapacity`] nothing is allocated.
+    pub fn place(
+        &self,
+        deployment: &mut Deployment,
+        req: &SubscriptionRequest,
+        next_vm_id: &mut u32,
+    ) -> Result<Vec<Placement>, PlacementError> {
+        let site_idxs: Vec<usize> = match &req.scope {
+            Scope::Province(p) => deployment.sites_in_province(p),
+            Scope::City(c) => deployment
+                .sites
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.city.name == c.as_str())
+                .map(|(i, _)| i)
+                .collect(),
+            Scope::Site(id) => deployment
+                .sites
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.id == *id)
+                .map(|(i, _)| i)
+                .collect(),
+            Scope::Anywhere => (0..deployment.sites.len()).collect(),
+        };
+        if site_idxs.is_empty() {
+            return Err(PlacementError::NoSuchScope);
+        }
+
+        // Single-VM requests are trivially atomic — take the fast path
+        // without cloning (population generators issue per-VM requests).
+        if req.count == 1 {
+            return match Self::best_server(self, deployment, &site_idxs, &req.spec) {
+                Some((si, vi)) => {
+                    let id = VmId(*next_vm_id);
+                    *next_vm_id += 1;
+                    deployment.sites[si].servers[vi].allocate(id, req.spec);
+                    Ok(vec![Placement {
+                        vm: id,
+                        site: deployment.sites[si].id,
+                        server: deployment.sites[si].servers[vi].id,
+                    }])
+                }
+                None => Err(PlacementError::InsufficientCapacity { placeable: 0 }),
+            };
+        }
+
+        // Dry-run on a clone of the allocation state so failures are
+        // all-or-nothing.
+        let mut working = deployment.clone();
+        let mut placements = Vec::with_capacity(req.count);
+        let mut vm_id = *next_vm_id;
+        for _ in 0..req.count {
+            match Self::best_server(self, &working, &site_idxs, &req.spec) {
+                Some((si, vi)) => {
+                    let id = VmId(vm_id);
+                    vm_id += 1;
+                    working.sites[si].servers[vi].allocate(id, req.spec);
+                    placements.push(Placement {
+                        vm: id,
+                        site: working.sites[si].id,
+                        server: working.sites[si].servers[vi].id,
+                    });
+                }
+                None => {
+                    return Err(PlacementError::InsufficientCapacity {
+                        placeable: placements.len(),
+                    })
+                }
+            }
+        }
+        *deployment = working;
+        *next_vm_id = vm_id;
+        Ok(placements)
+    }
+
+    /// The lowest-scoring feasible server in scope, as
+    /// `(site index, server index)`.
+    fn best_server(
+        &self,
+        deployment: &Deployment,
+        site_idxs: &[usize],
+        spec: &VmSpec,
+    ) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for &si in site_idxs {
+            for (vi, server) in deployment.sites[si].servers.iter().enumerate() {
+                if !server.fits(spec) {
+                    continue;
+                }
+                let score =
+                    self.w_sales * server.cpu_sales_ratio() + self.w_util * server.observed_cpu_util;
+                if best.is_none_or(|(_, _, s)| score < s) {
+                    best = Some((si, vi, score));
+                }
+            }
+        }
+        best.map(|(si, vi, _)| (si, vi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_nep(seed: u64) -> Deployment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Deployment::nep(&mut rng, 60)
+    }
+
+    fn paper_request() -> SubscriptionRequest {
+        SubscriptionRequest {
+            scope: Scope::Province("Guangdong".into()),
+            count: 10,
+            spec: VmSpec::new(16, 32, 100, 50.0),
+        }
+    }
+
+    #[test]
+    fn paper_example_placement_succeeds() {
+        let mut d = small_nep(1);
+        let mut next = 0;
+        let ps = PlacementPolicy::default()
+            .place(&mut d, &paper_request(), &mut next)
+            .expect("place 10 VMs in Guangdong");
+        assert_eq!(ps.len(), 10);
+        assert_eq!(next, 10);
+        for p in &ps {
+            let site = d.sites.iter().find(|s| s.id == p.site).unwrap();
+            assert_eq!(site.province(), "Guangdong");
+            let server = site.servers.iter().find(|s| s.id == p.server).unwrap();
+            assert!(server.vms().iter().any(|(v, _)| *v == p.vm));
+        }
+    }
+
+    #[test]
+    fn prefers_low_sales_servers() {
+        let mut d = small_nep(2);
+        // Pre-load every server of the first Guangdong site heavily.
+        let gd = d.sites_in_province("Guangdong");
+        assert!(gd.len() >= 2);
+        let hot = gd[0];
+        let mut preload_vm = 10_000;
+        for server in &mut d.sites[hot].servers {
+            let spec = VmSpec::new(server.capacity.cpu_cores - 1, 1, 1, 0.0);
+            server.allocate(VmId(preload_vm), spec);
+            preload_vm += 1;
+        }
+        let mut next = 0;
+        let req = SubscriptionRequest {
+            scope: Scope::Province("Guangdong".into()),
+            count: 5,
+            spec: VmSpec::new(1, 2, 10, 5.0),
+        };
+        let ps = PlacementPolicy::default().place(&mut d, &req, &mut next).unwrap();
+        // All placements avoid the saturated site.
+        let hot_id = d.sites[hot].id;
+        assert!(ps.iter().all(|p| p.site != hot_id));
+    }
+
+    #[test]
+    fn prefers_idle_servers_by_observed_util() {
+        let mut d = small_nep(3);
+        let site0 = &mut d.sites[0];
+        for (i, server) in site0.servers.iter_mut().enumerate() {
+            server.observed_cpu_util = if i == 0 { 0.0 } else { 0.9 };
+        }
+        let target_site = d.sites[0].id;
+        let mut next = 0;
+        let req = SubscriptionRequest {
+            scope: Scope::Site(target_site),
+            count: 1,
+            spec: VmSpec::new(1, 2, 10, 5.0),
+        };
+        let ps = PlacementPolicy::default().place(&mut d, &req, &mut next).unwrap();
+        assert_eq!(ps[0].server, d.sites[0].servers[0].id);
+    }
+
+    #[test]
+    fn insufficient_capacity_is_atomic() {
+        let mut d = small_nep(4);
+        // Ask for more giant VMs than the whole platform can hold.
+        let req = SubscriptionRequest {
+            scope: Scope::Anywhere,
+            count: 100_000,
+            spec: VmSpec::new(48, 192, 1000, 0.0),
+        };
+        let mut next = 0;
+        let before: usize = d.sites.iter().map(|s| s.vm_count()).sum();
+        let err = PlacementPolicy::default().place(&mut d, &req, &mut next).unwrap_err();
+        match err {
+            PlacementError::InsufficientCapacity { placeable } => assert!(placeable < 100_000),
+            e => panic!("unexpected error {e:?}"),
+        }
+        let after: usize = d.sites.iter().map(|s| s.vm_count()).sum();
+        assert_eq!(before, after, "failed placement must not leak allocations");
+        assert_eq!(next, 0);
+    }
+
+    #[test]
+    fn unknown_scope_errors() {
+        let mut d = small_nep(5);
+        let req = SubscriptionRequest {
+            scope: Scope::Province("Narnia".into()),
+            count: 1,
+            spec: VmSpec::new(1, 1, 1, 0.0),
+        };
+        let mut next = 0;
+        assert_eq!(
+            PlacementPolicy::default().place(&mut d, &req, &mut next),
+            Err(PlacementError::NoSuchScope)
+        );
+    }
+
+    #[test]
+    fn spreads_load_across_servers() {
+        // With equal weights and empty servers, consecutive placements of
+        // equal VMs should spread (each allocation raises the host's
+        // score).
+        let mut d = small_nep(6);
+        let site_id = d.sites[0].id;
+        let n_servers = d.sites[0].servers.len();
+        let req = SubscriptionRequest {
+            scope: Scope::Site(site_id),
+            count: n_servers.min(8),
+            spec: VmSpec::new(8, 16, 50, 0.0),
+        };
+        let mut next = 0;
+        let ps = PlacementPolicy::default().place(&mut d, &req, &mut next).unwrap();
+        let mut servers: Vec<ServerId> = ps.iter().map(|p| p.server).collect();
+        servers.sort();
+        servers.dedup();
+        assert_eq!(servers.len(), ps.len(), "each VM on a distinct server");
+    }
+}

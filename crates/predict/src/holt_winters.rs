@@ -1,0 +1,203 @@
+//! Additive Holt-Winters (triple exponential smoothing).
+//!
+//! The paper's classical forecaster (§4.4, citing Chatfield 1978). Level,
+//! trend, and an additive seasonal cycle of `period` windows are smoothed
+//! with coefficients (α, β, γ). [`HoltWinters::fit`] initializes from the
+//! first two seasons and runs the recurrences over the training series;
+//! [`HoltWinters::forecast_online`] then produces one-step-ahead forecasts
+//! over a test series, updating state with each observed value — exactly
+//! the "predict the next half-hour from history" protocol.
+
+/// Additive Holt-Winters model state.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    /// Level smoothing coefficient.
+    pub alpha: f64,
+    /// Trend smoothing coefficient.
+    pub beta: f64,
+    /// Seasonal smoothing coefficient.
+    pub gamma: f64,
+    /// Seasonal period in windows.
+    pub period: usize,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    /// Index (phase) of the next time step within the seasonal cycle.
+    phase: usize,
+}
+
+impl HoltWinters {
+    /// Fit on a training series. Requires at least two full periods.
+    ///
+    /// Panics on invalid smoothing coefficients (outside `[0,1]`) or a
+    /// too-short series.
+    pub fn fit(train: &[f64], alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            assert!((0.0..=1.0).contains(&v), "{name} out of [0,1]: {v}");
+        }
+        assert!(period >= 2, "period must be >= 2");
+        assert!(
+            train.len() >= 2 * period,
+            "need 2 periods ({}), got {}",
+            2 * period,
+            train.len()
+        );
+
+        // Classical initialization: level = mean of season 1, trend =
+        // mean per-step change between seasons 1 and 2, seasonals =
+        // first-season deviations from its mean.
+        let s1 = &train[..period];
+        let s2 = &train[period..2 * period];
+        let m1: f64 = s1.iter().sum::<f64>() / period as f64;
+        let m2: f64 = s2.iter().sum::<f64>() / period as f64;
+        let level = m1;
+        let trend = (m2 - m1) / period as f64;
+        let seasonal: Vec<f64> = s1.iter().map(|x| x - m1).collect();
+
+        let mut hw = HoltWinters {
+            alpha,
+            beta,
+            gamma,
+            period,
+            level,
+            trend,
+            seasonal,
+            phase: 0,
+        };
+        for &x in train {
+            hw.update(x);
+        }
+        hw
+    }
+
+    /// One-step-ahead forecast for the next time step.
+    pub fn forecast_next(&self) -> f64 {
+        self.level + self.trend + self.seasonal[self.phase]
+    }
+
+    /// Observe the actual value of the current step and advance.
+    pub fn update(&mut self, x: f64) {
+        let s = self.seasonal[self.phase];
+        let prev_level = self.level;
+        self.level = self.alpha * (x - s) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        self.seasonal[self.phase] = self.gamma * (x - self.level) + (1.0 - self.gamma) * s;
+        self.phase = (self.phase + 1) % self.period;
+    }
+
+    /// Produce one-step-ahead forecasts over `test`, updating with each
+    /// observation (rolling-origin evaluation).
+    pub fn forecast_online(&mut self, test: &[f64]) -> Vec<f64> {
+        test.iter()
+            .map(|&x| {
+                let f = self.forecast_next();
+                self.update(x);
+                f
+            })
+            .collect()
+    }
+
+    /// Fit with a small grid search over (α, β, γ), selecting the
+    /// combination with the lowest one-step RMSE on the last `period`
+    /// windows of `train` (used as validation, then refit on everything).
+    pub fn fit_grid(train: &[f64], period: usize) -> Self {
+        assert!(
+            train.len() >= 3 * period,
+            "grid fit needs 3 periods, got {}",
+            train.len()
+        );
+        let split = train.len() - period;
+        let grid = [0.05, 0.2, 0.5, 0.8];
+        let mut best: Option<(f64, f64, f64, f64)> = None; // (rmse, a, b, g)
+        for &a in &grid {
+            for &b in &[0.01, 0.1, 0.3] {
+                for &g in &grid {
+                    let mut hw = HoltWinters::fit(&train[..split], a, b, g, period);
+                    let preds = hw.forecast_online(&train[split..]);
+                    let rmse = edgescope_analysis::stats::rmse(&preds, &train[split..]);
+                    if best.is_none_or(|(r, ..)| rmse < r) {
+                        best = Some((rmse, a, b, g));
+                    }
+                }
+            }
+        }
+        let (_, a, b, g) = best.expect("non-empty grid");
+        HoltWinters::fit(train, a, b, g, period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgescope_analysis::stats::rmse;
+
+    fn seasonal_series(n: usize, period: usize, amp: f64, trend: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                50.0 + trend * i as f64
+                    + amp * (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_pure_seasonal_signal() {
+        let xs = seasonal_series(48 * 8, 48, 20.0, 0.0);
+        let (train, test) = (&xs[..48 * 6], &xs[48 * 6..]);
+        let mut hw = HoltWinters::fit(train, 0.3, 0.05, 0.3, 48);
+        let preds = hw.forecast_online(test);
+        let err = rmse(&preds, test);
+        assert!(err < 1.0, "rmse {err}");
+    }
+
+    #[test]
+    fn tracks_trend() {
+        let xs = seasonal_series(48 * 8, 48, 10.0, 0.05);
+        let (train, test) = (&xs[..48 * 6], &xs[48 * 6..]);
+        let mut hw = HoltWinters::fit(train, 0.3, 0.1, 0.3, 48);
+        let preds = hw.forecast_online(test);
+        let err = rmse(&preds, test);
+        assert!(err < 2.0, "rmse {err}");
+    }
+
+    #[test]
+    fn beats_naive_on_seasonal_data() {
+        let xs = seasonal_series(48 * 8, 48, 15.0, 0.0);
+        let (train, test) = (&xs[..48 * 6], &xs[48 * 6..]);
+        let mut hw = HoltWinters::fit(train, 0.3, 0.05, 0.3, 48);
+        let preds = hw.forecast_online(test);
+        let hw_err = rmse(&preds, test);
+        // Naive: predict the previous value.
+        let naive: Vec<f64> = std::iter::once(train[train.len() - 1])
+            .chain(test[..test.len() - 1].iter().cloned())
+            .collect();
+        let naive_err = rmse(&naive, test);
+        assert!(hw_err < naive_err / 1.5, "hw {hw_err} naive {naive_err}");
+    }
+
+    #[test]
+    fn grid_fit_not_worse_than_fixed() {
+        let xs = seasonal_series(48 * 8, 48, 12.0, 0.02);
+        let (train, test) = (&xs[..48 * 6], &xs[48 * 6..]);
+        let mut grid = HoltWinters::fit_grid(train, 48);
+        let grid_err = rmse(&grid.forecast_online(test), test);
+        let mut fixed = HoltWinters::fit(train, 0.8, 0.3, 0.05, 48);
+        let fixed_err = rmse(&fixed.forecast_online(test), test);
+        assert!(grid_err <= fixed_err * 1.2, "grid {grid_err} fixed {fixed_err}");
+        assert!(grid_err < 3.0, "grid rmse {grid_err}");
+    }
+
+    #[test]
+    fn constant_series_perfect() {
+        let xs = vec![42.0; 200];
+        let mut hw = HoltWinters::fit(&xs[..150], 0.3, 0.05, 0.3, 24);
+        let preds = hw.forecast_online(&xs[150..]);
+        assert!(rmse(&preds, &xs[150..]) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of [0,1]")]
+    fn bad_alpha_rejected() {
+        HoltWinters::fit(&[0.0; 100], 1.5, 0.1, 0.1, 10);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # edgescope-predict
+//!
+//! VM usage prediction, reproducing §4.4 / Fig. 14: predict the max/mean
+//! CPU usage of the next half-hour window from history, per VM, with
+//!
+//! * **Holt-Winters** ([`holt_winters`]) — additive triple exponential
+//!   smoothing with a daily seasonal period, the paper's classical
+//!   baseline;
+//! * **LSTM** ([`lstm`]) — a from-scratch single-layer LSTM with 24 hidden
+//!   units. The recurrent cell has exactly `4·24·(1+24) + 4·24 = 2496`
+//!   trainable weights — the figure the paper quotes — plus a 25-parameter
+//!   linear readout (the paper's count covers the cell only). Trained with
+//!   full BPTT and Adam.
+//!
+//! Baselines bounding the comparison — last-value, seasonal-naive, and an
+//! AR(p) with seasonal lag (the AR core of the ARIMA approach the paper's
+//! prediction citations use) — live in [`baselines`].
+//!
+//! Shared plumbing: [`window`] builds the half-hour max/mean supervision
+//! windows and the 3-week-train / 1-week-test split; [`eval`] runs either
+//! model per VM and reports RMSE in CPU percentage points (the unit of
+//! Fig. 14's x-axis).
+//!
+//! ## Omitted
+//! No GPU, no batching across VMs (the paper trains "on each separated
+//! VM"), no hyper-parameter search beyond Holt-Winters' small smoothing
+//! grid — matching the paper's fixed 1-layer/24-unit setup.
+
+pub mod baselines;
+pub mod eval;
+pub mod holt_winters;
+pub mod lstm;
+pub mod window;
+
+pub use baselines::{naive_forecast, seasonal_naive_forecast, ArModel};
+pub use eval::{evaluate_baseline, evaluate_holt_winters, evaluate_lstm, BaselineKind, PredictionReport};
+pub use holt_winters::HoltWinters;
+pub use lstm::{Lstm, LstmConfig};
+pub use window::{make_windows, train_test_split, Aggregation};

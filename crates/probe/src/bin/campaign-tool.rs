@@ -1,0 +1,133 @@
+//! Run crowd latency campaigns and work with their artefacts — the
+//! performance-dataset counterpart of `trace-tool`.
+//!
+//! ```text
+//! campaign-tool run [--users N] [--sites S] [--pings P] [--seed X] --out FILE.tsv
+//! campaign-tool summarize FILE.tsv     # recompute the section-3.1 aggregates
+//! ```
+
+use edgescope_net::access::AccessNetwork;
+use edgescope_net::path::PathModel;
+use edgescope_platform::deployment::Deployment;
+use edgescope_probe::latency::{LatencyCampaign, LatencyConfig};
+use edgescope_probe::records::{campaign_from_tsv, campaign_to_tsv};
+use edgescope_probe::user::recruit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  campaign-tool run [--users N] [--sites S] [--pings P] [--seed X] --out FILE.tsv\n  campaign-tool summarize FILE.tsv"
+    );
+    ExitCode::from(2)
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn summarize(campaign: &LatencyCampaign) {
+    println!("{} users", campaign.results.len());
+    for net in [AccessNetwork::Wifi, AccessNetwork::Lte, AccessNetwork::FiveG] {
+        let a = campaign.fig2a(net);
+        let b = campaign.fig2b(net);
+        if a.nearest_edge.len() < 3 {
+            println!("{}: {} users (skipped)", net.label(), a.nearest_edge.len());
+            continue;
+        }
+        println!(
+            "{}: nearest edge {:.1} ms (CV {:.1}%), nearest cloud {:.1} ms (CV {:.1}%), all clouds {:.1} ms",
+            net.label(),
+            median(&a.nearest_edge),
+            100.0 * median(&b.nearest_edge),
+            median(&a.nearest_cloud),
+            100.0 * median(&b.nearest_cloud),
+            median(&a.all_clouds),
+        );
+    }
+    let (edge_hops, cloud_hops) = campaign.fig3();
+    if !edge_hops.is_empty() {
+        println!(
+            "hops: edge median {:.0}, cloud median {:.0}",
+            median(&edge_hops),
+            median(&cloud_hops)
+        );
+    }
+}
+
+fn run_cmd(args: &[String]) -> Result<(), String> {
+    let mut users = 60usize;
+    let mut sites = 100usize;
+    let mut pings = 30usize;
+    let mut seed = 42u64;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = || it.next().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--users" => users = take()?.parse().map_err(|e| format!("--users: {e}"))?,
+            "--sites" => sites = take()?.parse().map_err(|e| format!("--sites: {e}"))?,
+            "--pings" => pings = take()?.parse().map_err(|e| format!("--pings: {e}"))?,
+            "--seed" => seed = take()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => out = Some(PathBuf::from(take()?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let out = out.ok_or("missing --out")?;
+    if users == 0 || sites == 0 || pings == 0 {
+        return Err("--users/--sites/--pings must be positive".into());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edge = Deployment::nep(&mut rng, sites);
+    let cloud = Deployment::alicloud();
+    let crowd = recruit(&mut rng, users);
+    eprintln!("running: {users} users x ({sites} edge + 12 cloud) targets x {pings} pings");
+    let campaign = LatencyCampaign::run(
+        &mut rng,
+        &crowd,
+        &PathModel::paper_default(),
+        &edge,
+        &cloud,
+        &LatencyConfig { pings_per_target: pings },
+    );
+    let tsv = campaign_to_tsv(&campaign);
+    std::fs::write(&out, &tsv).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} rows ({} KB) to {}",
+        tsv.lines().count() - 1,
+        tsv.len() / 1024,
+        out.display()
+    );
+    summarize(&campaign);
+    Ok(())
+}
+
+fn summarize_cmd(path: &str) -> Result<(), String> {
+    let tsv = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let campaign = campaign_from_tsv(&tsv).map_err(|e| e.to_string())?;
+    summarize(&campaign);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("run") => run_cmd(&args[1..]),
+        Some("summarize") => match args.get(1) {
+            Some(p) => summarize_cmd(p),
+            None => return usage(),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Inter-site RTT scan (§3.1, Fig. 4).
+//!
+//! "We obtain the RTT between every site pair every 5 minutes in a day …
+//! and average the results." The scan builds an inter-site path per pair,
+//! averages repeated probes, and reports (distance, RTT) points plus the
+//! per-site counts of neighbours within 5/10/20 ms (the paper finds
+//! 1.2/2.9/10.6 on average).
+
+use edgescope_net::path::PathModel;
+use edgescope_net::ping::PingEngine;
+use edgescope_platform::deployment::Deployment;
+use rand::Rng;
+
+/// Scan output.
+#[derive(Debug, Clone)]
+pub struct IntersiteScan {
+    /// One `(distance_km, mean_rtt_ms)` point per site pair (i < j).
+    pub points: Vec<(f64, f64)>,
+    /// Per site: neighbours within 5 / 10 / 20 ms.
+    pub neighbours: Vec<(usize, usize, usize)>,
+}
+
+impl IntersiteScan {
+    /// Mean neighbour counts across sites — the paper's 1.2/2.9/10.6
+    /// statistic.
+    pub fn mean_neighbours(&self) -> (f64, f64, f64) {
+        let n = self.neighbours.len().max(1) as f64;
+        let sum = self.neighbours.iter().fold((0usize, 0usize, 0usize), |a, b| {
+            (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+        });
+        (sum.0 as f64 / n, sum.1 as f64 / n, sum.2 as f64 / n)
+    }
+
+    /// Pearson correlation between distance and RTT over all pairs.
+    pub fn distance_rtt_correlation(&self) -> f64 {
+        let xs: Vec<f64> = self.points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = self.points.iter().map(|p| p.1).collect();
+        edgescope_analysis::pearson::pearson(&xs, &ys)
+    }
+}
+
+/// Run the scan over every site pair with `probes` pings each.
+pub fn intersite_scan(
+    rng: &mut impl Rng,
+    model: &PathModel,
+    dep: &Deployment,
+    probes: usize,
+) -> IntersiteScan {
+    let n = dep.n_sites();
+    assert!(n >= 2, "need at least two sites");
+    let engine = PingEngine::new();
+    let mut points = Vec::with_capacity(n * (n - 1) / 2);
+    let mut rtt_matrix = vec![f64::INFINITY; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = dep.sites[i].geo().distance_km(&dep.sites[j].geo());
+            let path = model.intersite_path(rng, d);
+            let stats = engine.probe(rng, &path, probes);
+            let rtt = stats.mean_rtt_ms().unwrap_or(path.mean_rtt_ms());
+            points.push((d, rtt));
+            rtt_matrix[i * n + j] = rtt;
+            rtt_matrix[j * n + i] = rtt;
+        }
+    }
+    let neighbours = (0..n)
+        .map(|i| {
+            let row = &rtt_matrix[i * n..(i + 1) * n];
+            let count = |lim: f64| row.iter().filter(|&&r| r <= lim).count();
+            (count(5.0), count(10.0), count(20.0))
+        })
+        .collect();
+    IntersiteScan { points, neighbours }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scan(seed: u64, n_sites: usize) -> IntersiteScan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dep = Deployment::nep(&mut rng, n_sites);
+        intersite_scan(&mut rng, &PathModel::paper_default(), &dep, 5)
+    }
+
+    #[test]
+    fn pair_count() {
+        let s = scan(1, 30);
+        assert_eq!(s.points.len(), 30 * 29 / 2);
+        assert_eq!(s.neighbours.len(), 30);
+    }
+
+    #[test]
+    fn rtt_grows_with_distance() {
+        let s = scan(2, 60);
+        assert!(s.distance_rtt_correlation() > 0.7, "corr {}", s.distance_rtt_correlation());
+    }
+
+    #[test]
+    fn far_pairs_reach_100ms() {
+        // Fig. 4: RTT ≈100 ms around 3000 km.
+        let s = scan(3, 120);
+        let far: Vec<f64> = s
+            .points
+            .iter()
+            .filter(|(d, _)| *d > 2700.0)
+            .map(|(_, r)| *r)
+            .collect();
+        if !far.is_empty() {
+            let max = far.iter().cloned().fold(f64::MIN, f64::max);
+            assert!(max > 80.0, "max far rtt {max}");
+        }
+    }
+
+    #[test]
+    fn dense_deployment_has_nearby_neighbours() {
+        // Fig. 4: on average ≈1.2 / 2.9 / 10.6 neighbours within
+        // 5/10/20 ms for the full >500-site deployment; a 200-site
+        // deployment must already show several ≤20 ms neighbours.
+        let s = scan(4, 200);
+        let (n5, n10, n20) = s.mean_neighbours();
+        assert!(n5 < n10 && n10 < n20);
+        assert!(n20 > 2.0, "n20 {n20}");
+        assert!(n5 >= 0.1, "n5 {n5}");
+    }
+}

@@ -1,0 +1,357 @@
+//! The crowd-sourced latency campaign (§2.1.1 → §3.1).
+//!
+//! Each user probes one VM per edge site and one per cloud region, 30
+//! pings each, recording per-target mean RTT, CV, hop count, and the
+//! ground-truth hop-latency shares. Aggregation is per-user-first: the
+//! nearest / 3rd-nearest edge and nearest / all-cloud figures come from
+//! each user's own measurements, then CDFs are taken across users.
+
+use crate::user::VirtualUser;
+use edgescope_net::access::AccessNetwork;
+use edgescope_net::path::{Path, PathModel, TargetClass};
+use edgescope_net::ping::PingEngine;
+use edgescope_platform::deployment::Deployment;
+use rand::Rng;
+
+/// Per-(user, target) measurement summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetStats {
+    /// Mean RTT of the returned probes, ms.
+    pub mean_rtt_ms: f64,
+    /// RTT coefficient of variation over the probe run.
+    pub cv: f64,
+    /// Hop count of the path.
+    pub hops: usize,
+    /// Ground-truth latency shares of hops 1/2/3 and the rest.
+    pub shares: (f64, f64, f64, f64),
+    /// Great-circle distance to the target, km.
+    pub distance_km: f64,
+}
+
+fn measure(rng: &mut impl Rng, engine: &PingEngine, path: &Path, pings: usize) -> Option<TargetStats> {
+    let stats = engine.probe(rng, path, pings);
+    let mean = stats.mean_rtt_ms()?;
+    let cv = stats.cv().unwrap_or(0.0);
+    let total: f64 = path.hops().iter().map(|h| h.rtt_ms).sum();
+    let share = |i: usize| path.hops().get(i).map_or(0.0, |h| h.rtt_ms) / total;
+    let rest: f64 = path.hops().iter().skip(3).map(|h| h.rtt_ms).sum::<f64>() / total;
+    Some(TargetStats {
+        mean_rtt_ms: mean,
+        cv,
+        hops: path.hop_count(),
+        shares: (share(0), share(1), share(2), rest),
+        distance_km: path.distance_km(),
+    })
+}
+
+/// One user's campaign output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserResult {
+    /// The participant.
+    pub user: VirtualUser,
+    /// Stats per edge site, in deployment order (lost-all-probes targets
+    /// are dropped).
+    pub edge: Vec<TargetStats>,
+    /// Stats per cloud region.
+    pub cloud: Vec<TargetStats>,
+}
+
+impl UserResult {
+    /// The `k`-th nearest edge target by measured mean RTT (0 = nearest).
+    pub fn kth_edge(&self, k: usize) -> Option<&TargetStats> {
+        let mut sorted: Vec<&TargetStats> = self.edge.iter().collect();
+        sorted.sort_by(|a, b| a.mean_rtt_ms.partial_cmp(&b.mean_rtt_ms).unwrap());
+        sorted.get(k).copied()
+    }
+
+    /// The nearest cloud target by measured mean RTT.
+    pub fn nearest_cloud(&self) -> Option<&TargetStats> {
+        self.cloud
+            .iter()
+            .min_by(|a, b| a.mean_rtt_ms.partial_cmp(&b.mean_rtt_ms).unwrap())
+    }
+
+    /// Mean RTT across all cloud regions — the paper's "all clouds"
+    /// baseline (a centralized deployment seen from this user).
+    pub fn all_cloud_mean_rtt(&self) -> Option<f64> {
+        if self.cloud.is_empty() {
+            return None;
+        }
+        Some(self.cloud.iter().map(|t| t.mean_rtt_ms).sum::<f64>() / self.cloud.len() as f64)
+    }
+
+    /// Mean CV across all cloud regions.
+    pub fn all_cloud_mean_cv(&self) -> Option<f64> {
+        if self.cloud.is_empty() {
+            return None;
+        }
+        Some(self.cloud.iter().map(|t| t.cv).sum::<f64>() / self.cloud.len() as f64)
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct LatencyConfig {
+    /// Probes per target (paper: 30).
+    pub pings_per_target: usize,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig { pings_per_target: 30 }
+    }
+}
+
+/// The assembled campaign results.
+#[derive(Debug, Clone)]
+pub struct LatencyCampaign {
+    /// One entry per user.
+    pub results: Vec<UserResult>,
+}
+
+impl LatencyCampaign {
+    /// Run the campaign: every user probes every edge site and cloud
+    /// region.
+    pub fn run(
+        rng: &mut impl Rng,
+        users: &[VirtualUser],
+        model: &PathModel,
+        edge: &Deployment,
+        cloud: &Deployment,
+        cfg: &LatencyConfig,
+    ) -> Self {
+        assert!(!users.is_empty(), "campaign needs users");
+        let engine = PingEngine::new();
+        fn probe_all<R: Rng>(
+            rng: &mut R,
+            engine: &PingEngine,
+            model: &PathModel,
+            u: &VirtualUser,
+            dep: &Deployment,
+            class: TargetClass,
+            pings: usize,
+        ) -> Vec<TargetStats> {
+            dep.sites
+                .iter()
+                .filter_map(|s| {
+                    let d = s.geo().distance_km(&u.geo);
+                    let path = model.ue_path(rng, u.access, d, class);
+                    measure(rng, engine, &path, pings)
+                })
+                .collect()
+        }
+        let results = users
+            .iter()
+            .map(|u| UserResult {
+                user: u.clone(),
+                edge: probe_all(rng, &engine, model, u, edge, TargetClass::EdgeSite, cfg.pings_per_target),
+                cloud: probe_all(rng, &engine, model, u, cloud, TargetClass::CloudRegion, cfg.pings_per_target),
+            })
+            .collect();
+        LatencyCampaign { results }
+    }
+
+    /// Users on a given access network.
+    pub fn users_on(&self, access: AccessNetwork) -> Vec<&UserResult> {
+        self.results.iter().filter(|r| r.user.access == access).collect()
+    }
+
+    /// Fig. 2(a) vectors for one access network: per-user mean RTTs of the
+    /// nearest edge, 3rd-nearest edge, nearest cloud, and all-clouds.
+    pub fn fig2a(&self, access: AccessNetwork) -> Fig2Series {
+        let mut s = Fig2Series::default();
+        for r in self.users_on(access) {
+            if let (Some(e0), Some(e2), Some(c0), Some(ca)) = (
+                r.kth_edge(0),
+                r.kth_edge(2),
+                r.nearest_cloud(),
+                r.all_cloud_mean_rtt(),
+            ) {
+                s.nearest_edge.push(e0.mean_rtt_ms);
+                s.third_edge.push(e2.mean_rtt_ms);
+                s.nearest_cloud.push(c0.mean_rtt_ms);
+                s.all_clouds.push(ca);
+            }
+        }
+        s
+    }
+
+    /// Fig. 2(b) vectors: per-user RTT CVs for the same four baselines.
+    pub fn fig2b(&self, access: AccessNetwork) -> Fig2Series {
+        let mut s = Fig2Series::default();
+        for r in self.users_on(access) {
+            if let (Some(e0), Some(e2), Some(c0), Some(ca)) = (
+                r.kth_edge(0),
+                r.kth_edge(2),
+                r.nearest_cloud(),
+                r.all_cloud_mean_cv(),
+            ) {
+                s.nearest_edge.push(e0.cv);
+                s.third_edge.push(e2.cv);
+                s.nearest_cloud.push(c0.cv);
+                s.all_clouds.push(ca);
+            }
+        }
+        s
+    }
+
+    /// Fig. 3 vectors: per-user hop counts to the nearest edge and
+    /// nearest cloud (all access networks pooled, as in the figure).
+    pub fn fig3(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut edge = Vec::new();
+        let mut cloud = Vec::new();
+        for r in &self.results {
+            if let (Some(e0), Some(c0)) = (r.kth_edge(0), r.nearest_cloud()) {
+                edge.push(e0.hops as f64);
+                cloud.push(c0.hops as f64);
+            }
+        }
+        (edge, cloud)
+    }
+
+    /// Table 2 row for one access network: mean hop shares
+    /// `(h1, h2, h3, rest)` to the nearest edge and the nearest cloud.
+    pub fn table2(&self, access: AccessNetwork) -> (HopShares, HopShares) {
+        let mut acc_e = (0.0, 0.0, 0.0, 0.0);
+        let mut acc_c = (0.0, 0.0, 0.0, 0.0);
+        let mut n = 0.0;
+        for r in self.users_on(access) {
+            if let (Some(e0), Some(c0)) = (r.kth_edge(0), r.nearest_cloud()) {
+                acc_e.0 += e0.shares.0;
+                acc_e.1 += e0.shares.1;
+                acc_e.2 += e0.shares.2;
+                acc_e.3 += e0.shares.3;
+                acc_c.0 += c0.shares.0;
+                acc_c.1 += c0.shares.1;
+                acc_c.2 += c0.shares.2;
+                acc_c.3 += c0.shares.3;
+                n += 1.0;
+            }
+        }
+        assert!(n > 0.0, "no users on {access}");
+        (
+            (acc_e.0 / n, acc_e.1 / n, acc_e.2 / n, acc_e.3 / n),
+            (acc_c.0 / n, acc_c.1 / n, acc_c.2 / n, acc_c.3 / n),
+        )
+    }
+}
+
+/// Mean latency shares of hops 1/2/3 and the rest (a Table 2 cell).
+pub type HopShares = (f64, f64, f64, f64);
+
+/// The four Fig. 2 baselines, per-user values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Fig2Series {
+    /// Per-user values for the nearest edge site.
+    pub nearest_edge: Vec<f64>,
+    /// Per-user values for the 3rd-nearest edge site.
+    pub third_edge: Vec<f64>,
+    /// Per-user values for the nearest cloud region.
+    pub nearest_cloud: Vec<f64>,
+    /// Per-user means across all cloud regions.
+    pub all_clouds: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::recruit;
+    use edgescope_analysis::stats::median;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn campaign(seed: u64, n_users: usize, n_sites: usize) -> LatencyCampaign {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edge = Deployment::nep(&mut rng, n_sites);
+        let cloud = Deployment::alicloud();
+        let users = recruit(&mut rng, n_users);
+        LatencyCampaign::run(
+            &mut rng,
+            &users,
+            &PathModel::paper_default(),
+            &edge,
+            &cloud,
+            &LatencyConfig { pings_per_target: 30 },
+        )
+    }
+
+    #[test]
+    fn edge_beats_cloud_for_wifi_users() {
+        let c = campaign(1, 60, 150);
+        let s = c.fig2a(AccessNetwork::Wifi);
+        assert!(s.nearest_edge.len() >= 20, "{} wifi users", s.nearest_edge.len());
+        let me = median(&s.nearest_edge);
+        let mc = median(&s.nearest_cloud);
+        let ma = median(&s.all_clouds);
+        assert!(me < mc && mc < ma, "edge {me} cloud {mc} all {ma}");
+        // Fig. 2(a) band: nearest-edge median ≈ 16 ms, ratio ≈ 1.3–1.7×.
+        assert!((12.0..21.0).contains(&me), "edge median {me}");
+        let ratio = mc / me;
+        assert!((1.15..2.2).contains(&ratio), "cloud/edge ratio {ratio}");
+    }
+
+    #[test]
+    fn third_edge_still_beats_nearest_cloud() {
+        // §3.1: "The 3rd nearest edge site also provides smaller network
+        // latency (18.9ms) than the nearest cloud."
+        let c = campaign(2, 60, 150);
+        let s = c.fig2a(AccessNetwork::Wifi);
+        assert!(median(&s.third_edge) < median(&s.nearest_cloud));
+        assert!(median(&s.third_edge) > median(&s.nearest_edge));
+    }
+
+    #[test]
+    fn jitter_gap_matches_fig2b() {
+        let c = campaign(3, 60, 150);
+        let s = c.fig2b(AccessNetwork::Wifi);
+        let me = median(&s.nearest_edge);
+        let mc = median(&s.nearest_cloud);
+        // Edge CV ≈ 1 %, cloud several × higher.
+        assert!(me < 0.04, "edge CV {me}");
+        assert!(mc / me > 2.0, "cloud/edge CV ratio {}", mc / me);
+    }
+
+    #[test]
+    fn hop_counts_fig3() {
+        let c = campaign(4, 50, 150);
+        let (edge, cloud) = c.fig3();
+        let me = median(&edge);
+        let mc = median(&cloud);
+        assert!((6.0..=9.0).contains(&me), "edge hop median {me}");
+        assert!(mc >= me + 2.0, "cloud hops {mc} vs edge {me}");
+    }
+
+    #[test]
+    fn table2_shares_sane() {
+        let c = campaign(5, 80, 150);
+        let (edge, cloud) = c.table2(AccessNetwork::Wifi);
+        // WiFi: first hop dominates the nearest-edge RTT (≈44 %), and its
+        // *share* shrinks on longer cloud paths.
+        assert!((0.30..0.55).contains(&edge.0), "edge h1 share {}", edge.0);
+        assert!(edge.0 > cloud.0, "h1 share must shrink on cloud paths");
+        let sum = edge.0 + edge.1 + edge.2 + edge.3;
+        assert!((sum - 1.0).abs() < 1e-9);
+        // LTE: second hop dominates.
+        let (edge_lte, _) = c.table2(AccessNetwork::Lte);
+        assert!(edge_lte.1 > 0.5, "LTE h2 share {}", edge_lte.1);
+    }
+
+    #[test]
+    fn five_g_fastest_nearest_edge() {
+        let c = campaign(6, 150, 150);
+        let wifi = median(&c.fig2a(AccessNetwork::Wifi).nearest_edge);
+        let fiveg_series = c.fig2a(AccessNetwork::FiveG);
+        if fiveg_series.nearest_edge.len() >= 3 {
+            let fiveg = median(&fiveg_series.nearest_edge);
+            assert!(fiveg < wifi, "5G {fiveg} vs WiFi {wifi}");
+            assert!((7.0..14.0).contains(&fiveg), "5G median {fiveg}");
+        }
+    }
+
+    #[test]
+    fn deterministic_campaign() {
+        let a = campaign(7, 10, 40);
+        let b = campaign(7, 10, 40);
+        assert_eq!(a.results[0].edge, b.results[0].edge);
+    }
+}

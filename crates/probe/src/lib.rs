@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # edgescope-probe
+//!
+//! The paper's measurement harness (§2.1.1), reproduced end to end:
+//!
+//! * [`user`] — the crowd: virtual participants with a home city (slightly
+//!   offset from the centroid), an access network drawn from the campaign
+//!   mix (59 % WiFi / 34 % LTE / 7 % 5G), and the paper's quirk that 5G
+//!   coverage in 2020 confined almost all 5G tests to Beijing;
+//! * [`latency`] — the speed-test app: each user pings every edge site and
+//!   every cloud region 30 times, records per-target mean RTT / CV / hop
+//!   structure, then aggregates *per user first* (the paper's
+//!   de-biasing: "first average the network performance from each user,
+//!   and then aggregate the results across users");
+//! * [`throughput`] — the iPerf3 campaign: 25 users × 20 edge VMs ×
+//!   up/down × 15 s;
+//! * [`intersite`] — the Fig. 4 scan: RTT between every pair of edge
+//!   sites, plus the "nearby sites within 5/10/20 ms" counts;
+//! * [`records`] — the campaign artefact format (the paper's promised
+//!   performance-dataset release): lossless TSV round-trip from which all
+//!   §3.1 aggregations recompute.
+
+pub mod intersite;
+pub mod latency;
+pub mod records;
+pub mod throughput;
+pub mod user;
+
+pub use intersite::{intersite_scan, IntersiteScan};
+pub use latency::{LatencyCampaign, LatencyConfig, TargetStats, UserResult};
+pub use records::{campaign_from_tsv, campaign_to_tsv};
+pub use throughput::{throughput_campaign, ThroughputConfig, ThroughputRow};
+pub use user::{recruit, VirtualUser};

@@ -1,0 +1,223 @@
+//! Campaign-result artefacts.
+//!
+//! §2.1.1: "the testing results will be encrypted and uploaded to our
+//! server, along with the network condition (WiFi/LTE/5G), testing time,
+//! and the city name" — and the paper promises to release the collected
+//! performance dataset. This module is that release path: a TSV of
+//! per-(user, target) measurement rows that round-trips losslessly, plus
+//! a loader that rebuilds a [`LatencyCampaign`]-shaped view so every §3.1
+//! aggregation can be recomputed from the artefact alone.
+//!
+//! Omitted: the upload encryption — operational plumbing with no bearing
+//! on any result (documented in DESIGN.md).
+
+use crate::latency::{LatencyCampaign, TargetStats, UserResult};
+use crate::user::VirtualUser;
+use edgescope_net::access::AccessNetwork;
+use edgescope_net::geo::GeoPoint;
+use edgescope_platform::geo_china::city_by_name;
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// Header mismatch, bad field, or truncated input.
+    Malformed(String),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Malformed(m) => write!(f, "malformed campaign artefact: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+const HEADER: &str = "user\tcity\tlat\tlon\tnetwork\ttarget_kind\ttarget_idx\tmean_rtt_ms\tcv\thops\tshare1\tshare2\tshare3\tshare_rest\tdistance_km";
+
+fn access_label(a: AccessNetwork) -> &'static str {
+    match a {
+        AccessNetwork::Wifi => "wifi",
+        AccessNetwork::Lte => "lte",
+        AccessNetwork::FiveG => "5g",
+        AccessNetwork::Wired => "wired",
+    }
+}
+
+fn access_from(s: &str) -> Option<AccessNetwork> {
+    Some(match s {
+        "wifi" => AccessNetwork::Wifi,
+        "lte" => AccessNetwork::Lte,
+        "5g" => AccessNetwork::FiveG,
+        "wired" => AccessNetwork::Wired,
+        _ => return None,
+    })
+}
+
+/// Serialize a campaign to TSV (one row per user-target measurement).
+pub fn campaign_to_tsv(campaign: &LatencyCampaign) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for (uid, r) in campaign.results.iter().enumerate() {
+        let mut push = |kind: &str, idx: usize, t: &TargetStats| {
+            out.push_str(&format!(
+                "{uid}\t{}\t{}\t{}\t{}\t{kind}\t{idx}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                r.user.city.name,
+                r.user.geo.lat_deg,
+                r.user.geo.lon_deg,
+                access_label(r.user.access),
+                t.mean_rtt_ms,
+                t.cv,
+                t.hops,
+                t.shares.0,
+                t.shares.1,
+                t.shares.2,
+                t.shares.3,
+                t.distance_km,
+            ));
+        };
+        for (i, t) in r.edge.iter().enumerate() {
+            push("edge", i, t);
+        }
+        for (i, t) in r.cloud.iter().enumerate() {
+            push("cloud", i, t);
+        }
+    }
+    out
+}
+
+/// Load a campaign back from its TSV artefact.
+pub fn campaign_from_tsv(tsv: &str) -> Result<LatencyCampaign, RecordError> {
+    let mut lines = tsv.lines();
+    let header = lines.next().ok_or_else(|| RecordError::Malformed("empty".into()))?;
+    if header != HEADER {
+        return Err(RecordError::Malformed(format!("bad header: {header}")));
+    }
+    let mut results: Vec<UserResult> = Vec::new();
+    let mut current_uid: Option<usize> = None;
+    for (n, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() != 15 {
+            return Err(RecordError::Malformed(format!(
+                "line {}: {} fields (want 15)",
+                n + 2,
+                f.len()
+            )));
+        }
+        let err = |what: &str| RecordError::Malformed(format!("line {}: bad {what}", n + 2));
+        let uid: usize = f[0].parse().map_err(|_| err("user"))?;
+        let city = city_by_name(f[1]).ok_or_else(|| err("city"))?;
+        let lat: f64 = f[2].parse().map_err(|_| err("lat"))?;
+        let lon: f64 = f[3].parse().map_err(|_| err("lon"))?;
+        let access = access_from(f[4]).ok_or_else(|| err("network"))?;
+        if current_uid != Some(uid) {
+            if uid != results.len() {
+                return Err(RecordError::Malformed(format!(
+                    "line {}: user ids must be dense and ordered (saw {uid}, expected {})",
+                    n + 2,
+                    results.len()
+                )));
+            }
+            results.push(UserResult {
+                user: VirtualUser { city: *city, geo: GeoPoint::new(lat, lon), access },
+                edge: Vec::new(),
+                cloud: Vec::new(),
+            });
+            current_uid = Some(uid);
+        }
+        let stats = TargetStats {
+            mean_rtt_ms: f[7].parse().map_err(|_| err("mean_rtt"))?,
+            cv: f[8].parse().map_err(|_| err("cv"))?,
+            hops: f[9].parse().map_err(|_| err("hops"))?,
+            shares: (
+                f[10].parse().map_err(|_| err("share1"))?,
+                f[11].parse().map_err(|_| err("share2"))?,
+                f[12].parse().map_err(|_| err("share3"))?,
+                f[13].parse().map_err(|_| err("share_rest"))?,
+            ),
+            distance_km: f[14].parse().map_err(|_| err("distance"))?,
+        };
+        let result = results.last_mut().expect("pushed above");
+        match f[5] {
+            "edge" => result.edge.push(stats),
+            "cloud" => result.cloud.push(stats),
+            other => return Err(RecordError::Malformed(format!("line {}: kind {other}", n + 2))),
+        }
+    }
+    Ok(LatencyCampaign { results })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyConfig;
+    use crate::user::recruit;
+    use edgescope_net::path::PathModel;
+    use edgescope_platform::deployment::Deployment;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn campaign(seed: u64) -> LatencyCampaign {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edge = Deployment::nep(&mut rng, 25);
+        let cloud = Deployment::alicloud();
+        let users = recruit(&mut rng, 12);
+        LatencyCampaign::run(
+            &mut rng,
+            &users,
+            &PathModel::paper_default(),
+            &edge,
+            &cloud,
+            &LatencyConfig { pings_per_target: 10 },
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_results() {
+        let c = campaign(1);
+        let tsv = campaign_to_tsv(&c);
+        let parsed = campaign_from_tsv(&tsv).expect("parse");
+        assert_eq!(parsed.results.len(), c.results.len());
+        for (a, b) in parsed.results.iter().zip(&c.results) {
+            assert_eq!(a.user.access, b.user.access);
+            assert_eq!(a.user.city.name, b.user.city.name);
+            assert_eq!(a.edge, b.edge);
+            assert_eq!(a.cloud, b.cloud);
+        }
+    }
+
+    #[test]
+    fn aggregations_recomputable_from_artefact() {
+        use edgescope_analysis::stats::median;
+        use edgescope_net::access::AccessNetwork;
+        let c = campaign(2);
+        let parsed = campaign_from_tsv(&campaign_to_tsv(&c)).unwrap();
+        let a = c.fig2a(AccessNetwork::Wifi);
+        let b = parsed.fig2a(AccessNetwork::Wifi);
+        assert_eq!(a, b, "fig2a identical from artefact");
+        assert_eq!(median(&a.nearest_edge), median(&b.nearest_edge));
+        assert_eq!(c.fig3(), parsed.fig3());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(campaign_from_tsv("").is_err());
+        assert!(campaign_from_tsv("nope\n").is_err());
+        let c = campaign(3);
+        let tsv = campaign_to_tsv(&c);
+        // Corrupt a field.
+        let corrupted = tsv.replacen("wifi", "carrier-pigeon", 1);
+        if corrupted != tsv {
+            assert!(campaign_from_tsv(&corrupted).is_err());
+        }
+        // Truncate a line.
+        let mut lines: Vec<&str> = tsv.lines().collect();
+        let broken = lines[1].rsplitn(2, '\t').nth(1).unwrap().to_string();
+        lines[1] = &broken;
+        assert!(campaign_from_tsv(&lines.join("\n")).is_err());
+    }
+}

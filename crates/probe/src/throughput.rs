@@ -1,0 +1,204 @@
+//! The throughput campaign (§2.1.1 → §3.2, Fig. 5).
+//!
+//! 25 volunteers in different cities run iPerf3 against 20 edge VMs (each
+//! with 1 Gbps gateway bandwidth), 15 seconds per connection, both
+//! directions. The output is Fig. 5's scatter: per test a (distance,
+//! mean Mbps) point, labelled by access network, plus the Pearson
+//! correlation per access/direction.
+
+use crate::user::VirtualUser;
+use edgescope_net::access::AccessNetwork;
+use edgescope_net::path::{PathModel, TargetClass};
+use edgescope_net::tcp::ThroughputModel;
+use edgescope_platform::deployment::Deployment;
+use rand::Rng;
+
+/// One iperf test result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Access network of the tester.
+    pub access: AccessNetwork,
+    /// Great-circle distance to the tested VM, km.
+    pub distance_km: f64,
+    /// Mean downlink goodput over the run, Mbps.
+    pub down_mbps: f64,
+    /// Mean uplink goodput over the run, Mbps.
+    pub up_mbps: f64,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Number of edge VMs probed (paper: 20, at distinct cities).
+    pub n_vms: usize,
+    /// iPerf run length in seconds (paper: 15).
+    pub secs: usize,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig { n_vms: 20, secs: 15 }
+    }
+}
+
+/// Pick `n` sites at distinct cities (deployment order).
+fn distinct_city_sites(dep: &Deployment, n: usize) -> Vec<usize> {
+    let mut seen: Vec<&str> = Vec::new();
+    let mut out = Vec::new();
+    for (i, s) in dep.sites.iter().enumerate() {
+        if !seen.contains(&s.city.name) {
+            seen.push(s.city.name);
+            out.push(i);
+            if out.len() == n {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Run the campaign: every user tests every chosen VM in both directions.
+pub fn throughput_campaign(
+    rng: &mut impl Rng,
+    users: &[VirtualUser],
+    model: &PathModel,
+    tcp: &ThroughputModel,
+    edge: &Deployment,
+    cfg: &ThroughputConfig,
+) -> Vec<ThroughputRow> {
+    assert!(!users.is_empty(), "campaign needs users");
+    let vm_sites = distinct_city_sites(edge, cfg.n_vms);
+    assert!(!vm_sites.is_empty(), "no VM sites available");
+    let mut rows = Vec::with_capacity(users.len() * vm_sites.len());
+    for u in users {
+        // The user's radio conditions are drawn once per session.
+        let down_cap = u.access.sample_downlink_mbps(rng);
+        let up_cap = u.access.sample_uplink_mbps(rng);
+        for &si in &vm_sites {
+            let d = edge.sites[si].geo().distance_km(&u.geo);
+            let path = model.ue_path(rng, u.access, d, TargetClass::EdgeSite);
+            let down = tcp.iperf(rng, &path, down_cap, cfg.secs);
+            let up = tcp.iperf(rng, &path, up_cap, cfg.secs);
+            rows.push(ThroughputRow {
+                access: u.access,
+                distance_km: d,
+                down_mbps: down.mean_mbps,
+                up_mbps: up.mean_mbps,
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 5 summary for one access network and direction: the scatter
+/// vectors and Pearson's r.
+pub fn fig5_series(
+    rows: &[ThroughputRow],
+    access: AccessNetwork,
+    downlink: bool,
+) -> (Vec<f64>, Vec<f64>, f64) {
+    let (mut xs, mut ys) = (Vec::new(), Vec::new());
+    for r in rows.iter().filter(|r| r.access == access) {
+        xs.push(r.distance_km);
+        ys.push(if downlink { r.down_mbps } else { r.up_mbps });
+    }
+    let corr = if xs.len() >= 2 {
+        edgescope_analysis::pearson::pearson(&xs, &ys)
+    } else {
+        0.0
+    };
+    (xs, ys, corr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::VirtualUser;
+    use edgescope_analysis::stats::mean;
+    use edgescope_net::geo::GeoPoint;
+    use edgescope_platform::geo_china::CITIES;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// 25 users at 25 distinct cities on a fixed access network.
+    fn users_on(access: AccessNetwork) -> Vec<VirtualUser> {
+        CITIES
+            .iter()
+            .take(25)
+            .map(|c| VirtualUser {
+                city: *c,
+                geo: GeoPoint::new(c.lat_deg, c.lon_deg),
+                access,
+            })
+            .collect()
+    }
+
+    fn run(access: AccessNetwork, seed: u64) -> Vec<ThroughputRow> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edge = Deployment::nep(&mut rng, 200);
+        throughput_campaign(
+            &mut rng,
+            &users_on(access),
+            &PathModel::paper_default(),
+            &ThroughputModel::paper_default(),
+            &edge,
+            &ThroughputConfig::default(),
+        )
+    }
+
+    #[test]
+    fn shape_25_users_20_vms() {
+        let rows = run(AccessNetwork::Wifi, 1);
+        assert_eq!(rows.len(), 25 * 20);
+    }
+
+    #[test]
+    fn wifi_lte_distance_correlation_negligible() {
+        // Fig. 5: |r| < 0.2 for WiFi and LTE.
+        for (access, seed) in [(AccessNetwork::Wifi, 2), (AccessNetwork::Lte, 3)] {
+            let rows = run(access, seed);
+            let (_, _, r_down) = fig5_series(&rows, access, true);
+            let (_, _, r_up) = fig5_series(&rows, access, false);
+            assert!(r_down.abs() < 0.25, "{access} down r {r_down}");
+            assert!(r_up.abs() < 0.25, "{access} up r {r_up}");
+        }
+    }
+
+    #[test]
+    fn five_g_downlink_strongly_distance_bound() {
+        // Fig. 5: 5G downlink |r| > 0.7 (negative: farther ⇒ slower).
+        let rows = run(AccessNetwork::FiveG, 4);
+        let (_, ys, r) = fig5_series(&rows, AccessNetwork::FiveG, true);
+        assert!(r < -0.55, "5G down r {r}");
+        let m = mean(&ys);
+        assert!((300.0..650.0).contains(&m), "5G down mean {m}");
+    }
+
+    #[test]
+    fn five_g_uplink_capped() {
+        // Fig. 5: 5G uplink ≈52 Mbps, capped by the TDD slot ratio ⇒
+        // negligible correlation.
+        let rows = run(AccessNetwork::FiveG, 5);
+        let (_, ys, r) = fig5_series(&rows, AccessNetwork::FiveG, false);
+        assert!(r.abs() < 0.3, "5G up r {r}");
+        let m = mean(&ys);
+        assert!((40.0..65.0).contains(&m), "5G up mean {m}");
+    }
+
+    #[test]
+    fn wired_behaves_like_5g_downlink() {
+        let rows = run(AccessNetwork::Wired, 6);
+        let (_, ys, r) = fig5_series(&rows, AccessNetwork::Wired, true);
+        assert!(r < -0.5, "wired r {r}");
+        let m = mean(&ys);
+        assert!((300.0..620.0).contains(&m), "wired mean {m}");
+    }
+
+    #[test]
+    fn wifi_throughput_under_capacity() {
+        let rows = run(AccessNetwork::Wifi, 7);
+        let (_, ys, _) = fig5_series(&rows, AccessNetwork::Wifi, true);
+        let m = mean(&ys);
+        assert!((30.0..110.0).contains(&m), "wifi mean {m}");
+    }
+}

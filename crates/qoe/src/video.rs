@@ -1,0 +1,97 @@
+//! Video resolutions and their codec figures.
+
+/// Resolutions used across §3.3's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// GamingAnywhere's default game resolution.
+    R800x600,
+    /// 1280x720.
+    R720p,
+    /// 1920x1080.
+    R1080p,
+    /// 3840x2160.
+    R4K,
+}
+
+impl Resolution {
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Resolution::R800x600 => "800x600",
+            Resolution::R720p => "720p",
+            Resolution::R1080p => "1080p",
+            Resolution::R4K => "4K",
+        }
+    }
+
+    /// Pixel count.
+    pub fn pixels(&self) -> u64 {
+        match self {
+            Resolution::R800x600 => 800 * 600,
+            Resolution::R720p => 1280 * 720,
+            Resolution::R1080p => 1920 * 1080,
+            Resolution::R4K => 3840 * 2160,
+        }
+    }
+
+    /// Typical encoded stream bitrate in Mbps (§3.3.2 streams 1080p at
+    /// ≈5 Mbps; §3.2 cites 4K@60 under 100 Mbps).
+    pub fn stream_bitrate_mbps(&self) -> f64 {
+        match self {
+            Resolution::R800x600 => 3.0,
+            Resolution::R720p => 3.5,
+            Resolution::R1080p => 5.0,
+            Resolution::R4K => 45.0,
+        }
+    }
+
+    /// Encoded size of one frame at `fps`, bytes.
+    pub fn frame_bytes(&self, fps: f64) -> f64 {
+        assert!(fps > 0.0, "fps must be positive");
+        self.stream_bitrate_mbps() * 1e6 / 8.0 / fps
+    }
+
+    /// Relative pixel-processing cost vs. 1080p (drives capture / render /
+    /// transcode scaling).
+    pub fn scale_vs_1080p(&self) -> f64 {
+        self.pixels() as f64 / Resolution::R1080p.pixels() as f64
+    }
+}
+
+impl std::fmt::Display for Resolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_by_pixels() {
+        assert!(Resolution::R800x600.pixels() < Resolution::R720p.pixels());
+        assert!(Resolution::R720p.pixels() < Resolution::R1080p.pixels());
+        assert!(Resolution::R1080p.pixels() < Resolution::R4K.pixels());
+    }
+
+    #[test]
+    fn four_k_fits_under_100mbps() {
+        // §3.2: 4K@60FPS consumes less than 100 Mbps.
+        assert!(Resolution::R4K.stream_bitrate_mbps() < 100.0);
+    }
+
+    #[test]
+    fn frame_bytes_at_60fps() {
+        // 5 Mbps / 60 fps ≈ 10.4 KB per frame.
+        let b = Resolution::R1080p.frame_bytes(60.0);
+        assert!((b - 10_416.0).abs() < 50.0, "frame bytes {b}");
+    }
+
+    #[test]
+    fn scale_relative_to_1080p() {
+        assert!((Resolution::R1080p.scale_vs_1080p() - 1.0).abs() < 1e-12);
+        assert!((Resolution::R4K.scale_vs_1080p() - 4.0).abs() < 0.01);
+        assert!(Resolution::R720p.scale_vs_1080p() < 0.5);
+    }
+}

@@ -1,0 +1,235 @@
+//! Serverless/FaaS vs. peak-provisioned IaaS (§5.2 "Decomposing edge
+//! services").
+//!
+//! The paper: elastic paradigms "help facilitate flexible resource
+//! management and fine-grained billing … However, such elasticity comes
+//! at a price. For example, serverless computing has been criticized for
+//! its slow cold start", which "can barely meet the requirements for
+//! ultra-low-delay edge applications."
+//!
+//! The model: a demand series (requests per interval) served either by
+//!
+//! * **IaaS**: a fixed fleet provisioned for the peak (+ headroom),
+//!   billed per core-month whether used or not — §4.2's observed
+//!   over-provisioning;
+//! * **FaaS**: per-request function instances; warm instances persist for
+//!   a keep-alive window; requests that miss a warm instance pay a cold
+//!   start. Billed per core-second actually used (plus keep-alive).
+
+use edgescope_analysis::stats::percentile;
+
+/// Elasticity study configuration.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Requests one core can serve per interval.
+    pub req_per_core_interval: f64,
+    /// IaaS provisioning headroom above the observed peak (e.g. 0.3).
+    pub iaas_headroom: f64,
+    /// RMB per core-month (NEP's 65).
+    pub iaas_core_month: f64,
+    /// FaaS price per core-second (cloud-like premium granularity).
+    pub faas_core_second: f64,
+    /// Cold-start latency, ms.
+    pub cold_start_ms: f64,
+    /// Warm-service latency, ms.
+    pub warm_ms: f64,
+    /// Keep-alive window in intervals: instances stay warm this long
+    /// after serving.
+    pub keepalive_intervals: usize,
+    /// Interval length in seconds.
+    pub interval_s: f64,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            req_per_core_interval: 1000.0,
+            iaas_headroom: 0.3,
+            iaas_core_month: 65.0,
+            // 0.00011 RMB/core-second ≈ 285 RMB/core-month if always on —
+            // the usual ~4x serverless premium over reserved cores.
+            faas_core_second: 1.1e-4,
+            cold_start_ms: 800.0,
+            warm_ms: 8.0,
+            keepalive_intervals: 2,
+            interval_s: 900.0,
+        }
+    }
+}
+
+/// Outcome of serving one demand series both ways.
+#[derive(Debug, Clone)]
+pub struct ElasticOutcome {
+    /// IaaS monthly cost (RMB) for the provisioned fleet.
+    pub iaas_cost_month: f64,
+    /// FaaS monthly cost (RMB) for the consumed core-time.
+    pub faas_cost_month: f64,
+    /// Fleet size IaaS had to provision (cores).
+    pub iaas_cores: f64,
+    /// Mean IaaS fleet utilization over the series.
+    pub iaas_utilization: f64,
+    /// FaaS p95 request latency, ms (includes cold starts).
+    pub faas_p95_ms: f64,
+    /// IaaS p95 request latency, ms (always warm).
+    pub iaas_p95_ms: f64,
+    /// Fraction of requests that hit a cold start.
+    pub cold_fraction: f64,
+}
+
+impl ElasticOutcome {
+    /// Cost ratio IaaS / FaaS (>1 ⇒ serverless cheaper).
+    pub fn cost_ratio(&self) -> f64 {
+        self.iaas_cost_month / self.faas_cost_month.max(1e-9)
+    }
+}
+
+/// Evaluate a demand series (requests per interval).
+pub fn evaluate(demand: &[f64], cfg: &ElasticConfig) -> ElasticOutcome {
+    assert!(!demand.is_empty(), "need demand");
+    assert!(cfg.req_per_core_interval > 0.0);
+    let peak = demand.iter().cloned().fold(0.0f64, f64::max);
+    let total_requests: f64 = demand.iter().sum();
+
+    // --- IaaS ------------------------------------------------------------
+    let iaas_cores = (peak * (1.0 + cfg.iaas_headroom) / cfg.req_per_core_interval).ceil();
+    let mean_demand_cores = total_requests / demand.len() as f64 / cfg.req_per_core_interval;
+    let iaas_utilization = if iaas_cores > 0.0 { mean_demand_cores / iaas_cores } else { 0.0 };
+    // Scale the observed window to a 30-day month.
+    let window_months = demand.len() as f64 * cfg.interval_s / (30.0 * 86_400.0);
+    let iaas_cost_month = iaas_cores * cfg.iaas_core_month;
+
+    // --- FaaS ------------------------------------------------------------
+    let mut warm_cores: f64 = 0.0;
+    let mut warm_ttl: usize = 0;
+    let mut core_seconds = 0.0;
+    let mut cold_requests = 0.0;
+    let mut latencies: Vec<(f64, f64)> = Vec::new(); // (weight, ms)
+    for &d in demand {
+        let needed_cores = d / cfg.req_per_core_interval;
+        let cold_cores = (needed_cores - warm_cores).max(0.0);
+        // Requests served by newly-started instances pay the cold start.
+        let cold_req = if needed_cores > 0.0 {
+            d * (cold_cores / needed_cores)
+        } else {
+            0.0
+        };
+        cold_requests += cold_req;
+        latencies.push((cold_req, cfg.cold_start_ms + cfg.warm_ms));
+        latencies.push((d - cold_req, cfg.warm_ms));
+        // Busy cores bill for the interval; keep-alive retains capacity.
+        core_seconds += needed_cores.max(warm_cores.min(needed_cores)) * cfg.interval_s;
+        if needed_cores >= warm_cores {
+            warm_cores = needed_cores;
+            warm_ttl = cfg.keepalive_intervals;
+        } else if warm_ttl > 0 {
+            warm_ttl -= 1;
+            // Keep-alive cores idle but billed at a fraction (providers
+            // charge memory-time for warm pools; 25 % is representative).
+            core_seconds += (warm_cores - needed_cores) * cfg.interval_s * 0.25;
+        } else {
+            warm_cores = needed_cores;
+        }
+    }
+    let faas_cost_window = core_seconds * cfg.faas_core_second;
+    let faas_cost_month = faas_cost_window / window_months.max(1e-9);
+
+    // Weighted p95 latency.
+    latencies.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let total_w: f64 = latencies.iter().map(|(w, _)| w).sum();
+    let mut acc = 0.0;
+    let mut faas_p95 = cfg.warm_ms;
+    for (w, l) in &latencies {
+        acc += w;
+        if acc >= 0.95 * total_w {
+            faas_p95 = *l;
+            break;
+        }
+    }
+
+    // IaaS latency: always-warm service with mild queueing near peak.
+    let iaas_lat: Vec<f64> = demand
+        .iter()
+        .map(|&d| {
+            let rho = (d / cfg.req_per_core_interval / iaas_cores.max(1.0)).min(0.79);
+            cfg.warm_ms / (1.0 - rho)
+        })
+        .collect();
+
+    ElasticOutcome {
+        iaas_cost_month,
+        faas_cost_month,
+        iaas_cores,
+        iaas_utilization,
+        faas_p95_ms: faas_p95,
+        iaas_p95_ms: percentile(&iaas_lat, 95.0),
+        cold_fraction: cold_requests / total_requests.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A diurnal demand series: `days` days of 15-min intervals with an
+    /// evening peak.
+    fn diurnal(days: usize, peak: f64, trough: f64) -> Vec<f64> {
+        (0..days * 96)
+            .map(|i| {
+                let h = (i % 96) as f64 / 4.0;
+                if (19.0..23.0).contains(&h) {
+                    peak
+                } else {
+                    trough
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serverless_cheaper_for_peaky_interactive_apps() {
+        // The §5.2 promise: fine-grained billing beats peak provisioning
+        // when peak >> mean.
+        let demand = diurnal(30, 50_000.0, 2_000.0);
+        let out = evaluate(&demand, &ElasticConfig::default());
+        assert!(out.cost_ratio() > 1.0, "IaaS {} vs FaaS {}", out.iaas_cost_month, out.faas_cost_month);
+        assert!(out.iaas_utilization < 0.4, "IaaS over-provisioned: {}", out.iaas_utilization);
+    }
+
+    #[test]
+    fn but_serverless_breaks_the_delay_sla() {
+        // ... and the §5.2 caveat: cold starts wreck the tail.
+        let demand = diurnal(30, 50_000.0, 2_000.0);
+        let out = evaluate(&demand, &ElasticConfig::default());
+        assert!(out.faas_p95_ms > 100.0, "p95 {} must show cold starts", out.faas_p95_ms);
+        assert!(out.iaas_p95_ms < 50.0, "IaaS stays warm: {}", out.iaas_p95_ms);
+        assert!(out.cold_fraction > 0.0);
+    }
+
+    #[test]
+    fn flat_demand_favours_iaas() {
+        // Surveillance-style steady load: reserved cores cost less than
+        // the serverless premium.
+        let demand = vec![30_000.0; 96 * 30];
+        let out = evaluate(&demand, &ElasticConfig::default());
+        assert!(out.cost_ratio() < 1.0, "flat load: IaaS {} vs FaaS {}", out.iaas_cost_month, out.faas_cost_month);
+        assert!(out.iaas_utilization > 0.6);
+        assert!(out.cold_fraction < 0.01, "steady load keeps everything warm");
+    }
+
+    #[test]
+    fn keepalive_reduces_cold_starts() {
+        let demand = diurnal(10, 20_000.0, 1_000.0);
+        let short = evaluate(&demand, &ElasticConfig { keepalive_intervals: 0, ..Default::default() });
+        let long = evaluate(&demand, &ElasticConfig { keepalive_intervals: 8, ..Default::default() });
+        assert!(long.cold_fraction <= short.cold_fraction);
+    }
+
+    #[test]
+    fn costs_positive_and_fleet_covers_peak() {
+        let demand = diurnal(7, 10_000.0, 500.0);
+        let cfg = ElasticConfig::default();
+        let out = evaluate(&demand, &cfg);
+        assert!(out.iaas_cost_month > 0.0 && out.faas_cost_month > 0.0);
+        assert!(out.iaas_cores * cfg.req_per_core_interval >= 10_000.0);
+    }
+}

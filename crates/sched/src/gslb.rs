@@ -1,0 +1,222 @@
+//! Cross-site request scheduling policies.
+//!
+//! §2: "edge customers typically route user requests to their nearby
+//! sites based on DNS or HTTP 302" — the nearest-site status quo, which
+//! §4.3 shows "often fail\[s\] to deliver" load balance. The alternatives
+//! follow the paper's discussion: spreading over the k nearest sites,
+//! classic GSLB (pick the least-loaded candidate), and the
+//! delay-constrained load-aware policy it advocates — balance only among
+//! sites whose extra delay stays within a budget, exploiting Fig. 4's
+//! observation that several sites sit within a few ms of each other.
+
+use edgescope_platform::deployment::Deployment;
+use edgescope_net::geo::GeoPoint;
+
+/// A request-scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulingPolicy {
+    /// Route every request to the geographically nearest site (status
+    /// quo).
+    NearestSite,
+    /// Spread round-robin over the `k` nearest sites, load-blind.
+    RoundRobinNearest(usize),
+    /// Among the `k` nearest sites, pick the currently least-loaded.
+    LoadAware(usize),
+    /// Among sites within `budget_ms` of extra one-way delay vs. the
+    /// nearest, pick the least-loaded (the paper's proposal).
+    /// Among sites within `budget_ms` of extra one-way delay vs. the nearest, pick the least-loaded (the paper's proposal).
+    DelayConstrained {
+        /// Maximum extra one-way delay accepted vs. the nearest site.
+        budget_ms: f64,
+    },
+}
+
+impl SchedulingPolicy {
+    /// Human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SchedulingPolicy::NearestSite => "nearest-site (status quo)".into(),
+            SchedulingPolicy::RoundRobinNearest(k) => format!("round-robin over {k} nearest"),
+            SchedulingPolicy::LoadAware(k) => format!("load-aware over {k} nearest"),
+            SchedulingPolicy::DelayConstrained { budget_ms } => {
+                format!("delay-constrained load-aware (+{budget_ms} ms)")
+            }
+        }
+    }
+}
+
+/// Pre-computed per-city candidate sets: site indices ordered by
+/// distance, with the approximate extra one-way delay vs. the nearest.
+#[derive(Debug, Clone)]
+pub struct CandidateTable {
+    /// Per city: `(site index, distance km, extra_delay_ms)`.
+    pub per_city: Vec<Vec<(usize, f64, f64)>>,
+}
+
+/// Approximate one-way WAN delay between a user and a site at `d` km —
+/// the Fig. 4 slope (half of the RTT model's 0.021 ms/km plus a base).
+pub fn base_one_way_ms(d_km: f64) -> f64 {
+    1.5 + 0.0105 * d_km
+}
+
+fn one_way_ms(d_km: f64) -> f64 {
+    base_one_way_ms(d_km)
+}
+
+impl CandidateTable {
+    /// Build candidate sets of up to `max_candidates` sites per city.
+    pub fn build(dep: &Deployment, cities: &[GeoPoint], max_candidates: usize) -> Self {
+        assert!(max_candidates >= 1, "need candidates");
+        let per_city = cities
+            .iter()
+            .map(|geo| {
+                let ordered = dep.sites_by_distance(*geo);
+                let nearest_d = ordered[0].1;
+                ordered
+                    .into_iter()
+                    .take(max_candidates)
+                    .map(|(idx, d)| (idx, d, one_way_ms(d) - one_way_ms(nearest_d)))
+                    .collect()
+            })
+            .collect();
+        CandidateTable { per_city }
+    }
+
+    /// Pick a site for one request from `city_idx` under `policy`.
+    ///
+    /// `loads` is the current per-site load (same index space as the
+    /// deployment), `rr_state` a per-city round-robin cursor. Returns the
+    /// site index and the extra one-way delay vs. the nearest site.
+    pub fn pick(
+        &self,
+        policy: SchedulingPolicy,
+        city_idx: usize,
+        loads: &[f64],
+        rr_state: &mut [usize],
+    ) -> (usize, f64) {
+        let cands = &self.per_city[city_idx];
+        match policy {
+            SchedulingPolicy::NearestSite => (cands[0].0, 0.0),
+            SchedulingPolicy::RoundRobinNearest(k) => {
+                let k = k.clamp(1, cands.len());
+                let c = cands[rr_state[city_idx] % k];
+                rr_state[city_idx] = rr_state[city_idx].wrapping_add(1);
+                (c.0, c.2)
+            }
+            SchedulingPolicy::LoadAware(k) => {
+                let k = k.clamp(1, cands.len());
+                let best = cands[..k]
+                    .iter()
+                    .min_by(|a, b| loads[a.0].partial_cmp(&loads[b.0]).unwrap())
+                    .unwrap();
+                (best.0, best.2)
+            }
+            SchedulingPolicy::DelayConstrained { budget_ms } => {
+                let best = cands
+                    .iter()
+                    .filter(|c| c.2 <= budget_ms)
+                    .min_by(|a, b| loads[a.0].partial_cmp(&loads[b.0]).unwrap())
+                    .unwrap_or(&cands[0]);
+                (best.0, best.2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgescope_platform::geo_china::CITIES;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> (Deployment, CandidateTable) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dep = Deployment::nep(&mut rng, 80);
+        let cities: Vec<GeoPoint> = CITIES.iter().take(10).map(|c| c.geo()).collect();
+        let t = CandidateTable::build(&dep, &cities, 8);
+        (dep, t)
+    }
+
+    #[test]
+    fn candidates_ordered_by_distance() {
+        let (_, t) = table();
+        for cands in &t.per_city {
+            assert_eq!(cands.len(), 8);
+            for w in cands.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+            assert_eq!(cands[0].2, 0.0, "nearest has zero extra delay");
+            assert!(cands.iter().all(|c| c.2 >= 0.0));
+        }
+    }
+
+    #[test]
+    fn nearest_site_always_first_candidate() {
+        let (dep, t) = table();
+        let loads = vec![0.0; dep.n_sites()];
+        let mut rr = vec![0usize; t.per_city.len()];
+        for city in 0..t.per_city.len() {
+            let (site, extra) = t.pick(SchedulingPolicy::NearestSite, city, &loads, &mut rr);
+            assert_eq!(site, t.per_city[city][0].0);
+            assert_eq!(extra, 0.0);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let (dep, t) = table();
+        let loads = vec![0.0; dep.n_sites()];
+        let mut rr = vec![0usize; t.per_city.len()];
+        let picks: Vec<usize> = (0..6)
+            .map(|_| t.pick(SchedulingPolicy::RoundRobinNearest(3), 0, &loads, &mut rr).0)
+            .collect();
+        assert_eq!(picks[0], picks[3]);
+        assert_eq!(picks[1], picks[4]);
+        assert_eq!(picks[2], picks[5]);
+        let mut uniq = picks.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() >= 2, "must actually spread");
+    }
+
+    #[test]
+    fn load_aware_avoids_hot_site() {
+        let (dep, t) = table();
+        let mut loads = vec![0.0; dep.n_sites()];
+        let hot = t.per_city[0][0].0;
+        loads[hot] = 1e9;
+        let mut rr = vec![0usize; t.per_city.len()];
+        let (site, _) = t.pick(SchedulingPolicy::LoadAware(4), 0, &loads, &mut rr);
+        assert_ne!(site, hot);
+    }
+
+    #[test]
+    fn delay_constrained_respects_budget() {
+        let (dep, t) = table();
+        let mut loads = vec![0.0; dep.n_sites()];
+        // Overload everything close; policy must still not violate the
+        // budget.
+        for c in &t.per_city[0] {
+            if c.2 <= 2.0 {
+                loads[c.0] = 1e9;
+            }
+        }
+        let mut rr = vec![0usize; t.per_city.len()];
+        let (site, extra) =
+            t.pick(SchedulingPolicy::DelayConstrained { budget_ms: 2.0 }, 0, &loads, &mut rr);
+        assert!(extra <= 2.0, "extra {extra}");
+        // It must be one of the in-budget candidates (even if loaded).
+        assert!(t.per_city[0].iter().any(|c| c.0 == site && c.2 <= 2.0));
+    }
+
+    #[test]
+    fn zero_budget_degenerates_to_nearest() {
+        let (dep, t) = table();
+        let loads = vec![1.0; dep.n_sites()];
+        let mut rr = vec![0usize; t.per_city.len()];
+        let (site, _) =
+            t.pick(SchedulingPolicy::DelayConstrained { budget_ms: 0.0 }, 2, &loads, &mut rr);
+        assert_eq!(site, t.per_city[2][0].0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Dynamic cross-site VM migration.
+//!
+//! §4.2/§4.3 implications: "we envision that dynamic VM migration can
+//! better balance the across-server resource usage", tempered by §5.2:
+//! "it remains challenging because of the high migration delay and the
+//! impacts on the app QoS". This module implements a threshold-triggered
+//! rebalancer with that cost model:
+//!
+//! * a migration moves one VM from the most- to the least-loaded site
+//!   among candidates within an RTT limit (moving far away would wreck
+//!   the app's delay SLA);
+//! * its cost = pre-copy transfer time (VM memory × dirty factor over the
+//!   inter-site bandwidth) plus a stop-and-copy downtime;
+//! * a migration budget caps how much disruption the operator accepts.
+
+use edgescope_analysis::stats::coefficient_of_variation;
+use edgescope_net::geo::GeoPoint;
+
+/// A migratable VM: its home site and load contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedVm {
+    /// Dense site index the VM currently lives on.
+    pub site: usize,
+    /// Load units this VM contributes to its site (e.g. mean CPU cores
+    /// consumed, or Mbps).
+    pub load: f64,
+    /// Memory footprint in GB (drives migration cost).
+    pub mem_gb: f64,
+}
+
+/// Migration policy configuration.
+#[derive(Debug, Clone)]
+pub struct MigrationConfig {
+    /// Rebalance only between sites whose RTT is below this (ms) — the
+    /// §4.3 constraint that inter-site scheduling must not hurt delay.
+    pub max_intersite_rtt_ms: f64,
+    /// Stop migrating when the across-site load CV falls below this.
+    pub target_cv: f64,
+    /// Maximum number of migrations (operator's disruption budget).
+    pub max_migrations: usize,
+    /// Inter-site bandwidth available for migrations, Gbps.
+    pub intersite_gbps: f64,
+    /// Pre-copy amplification (dirty pages re-sent).
+    pub dirty_factor: f64,
+    /// Stop-and-copy downtime per migration, seconds.
+    pub downtime_s: f64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            max_intersite_rtt_ms: 10.0,
+            target_cv: 0.2,
+            max_migrations: 200,
+            intersite_gbps: 10.0,
+            dirty_factor: 1.3,
+            downtime_s: 0.5,
+        }
+    }
+}
+
+/// One executed migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationStep {
+    /// Index into the VM slice.
+    pub vm_idx: usize,
+    /// Source site.
+    pub from: usize,
+    /// Destination site.
+    pub to: usize,
+    /// Total copy time, seconds.
+    pub copy_s: f64,
+}
+
+/// Rebalancing outcome.
+#[derive(Debug, Clone)]
+pub struct MigrationOutcome {
+    /// Across-site load CV before rebalancing.
+    pub cv_before: f64,
+    /// Across-site load CV after.
+    pub cv_after: f64,
+    /// Executed migrations, in order.
+    pub steps: Vec<MigrationStep>,
+    /// Total bytes moved, GB.
+    pub moved_gb: f64,
+    /// Total downtime inflicted, seconds.
+    pub total_downtime_s: f64,
+}
+
+impl MigrationOutcome {
+    /// Relative imbalance reduction.
+    pub fn cv_reduction(&self) -> f64 {
+        if self.cv_before == 0.0 {
+            0.0
+        } else {
+            1.0 - self.cv_after / self.cv_before
+        }
+    }
+}
+
+/// The Fig. 4 RTT approximation between two sites.
+fn intersite_rtt_ms(a: GeoPoint, b: GeoPoint) -> f64 {
+    3.0 + 0.021 * a.distance_km(&b)
+}
+
+/// Greedy threshold rebalancer: repeatedly move the largest movable VM
+/// from the hottest site to the coolest reachable site, while it improves
+/// balance.
+pub fn rebalance(
+    site_geo: &[GeoPoint],
+    vms: &mut [SchedVm],
+    cfg: &MigrationConfig,
+) -> MigrationOutcome {
+    let n_sites = site_geo.len();
+    assert!(n_sites >= 2, "need at least two sites");
+    let mut site_load = vec![0.0f64; n_sites];
+    for vm in vms.iter() {
+        assert!(vm.site < n_sites, "vm references unknown site");
+        site_load[vm.site] += vm.load;
+    }
+    let cv_before = coefficient_of_variation(&site_load);
+    let mut steps = Vec::new();
+    let mut moved_gb = 0.0;
+
+    for _ in 0..cfg.max_migrations {
+        let cv = coefficient_of_variation(&site_load);
+        if cv <= cfg.target_cv {
+            break;
+        }
+        // Hottest and coolest-reachable site.
+        let hot = (0..n_sites)
+            .max_by(|&a, &b| site_load[a].partial_cmp(&site_load[b]).unwrap())
+            .unwrap();
+        let cold = (0..n_sites)
+            .filter(|&s| s != hot)
+            .filter(|&s| intersite_rtt_ms(site_geo[hot], site_geo[s]) <= cfg.max_intersite_rtt_ms)
+            .min_by(|&a, &b| site_load[a].partial_cmp(&site_load[b]).unwrap());
+        let Some(cold) = cold else { break };
+        let gap = site_load[hot] - site_load[cold];
+        if gap <= 0.0 {
+            break;
+        }
+        // Largest VM on the hot site that still improves balance (moving
+        // more than the gap would overshoot).
+        let candidate = vms
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.site == hot && v.load > 0.0 && v.load < gap)
+            .max_by(|a, b| a.1.load.partial_cmp(&b.1.load).unwrap())
+            .map(|(i, _)| i);
+        let Some(vm_idx) = candidate else { break };
+
+        let vm = vms[vm_idx];
+        let copy_s = vm.mem_gb * cfg.dirty_factor * 8.0 / cfg.intersite_gbps;
+        site_load[hot] -= vm.load;
+        site_load[cold] += vm.load;
+        vms[vm_idx].site = cold;
+        moved_gb += vm.mem_gb * cfg.dirty_factor;
+        steps.push(MigrationStep { vm_idx, from: hot, to: cold, copy_s });
+    }
+
+    let total_downtime_s = steps.len() as f64 * cfg.downtime_s;
+    MigrationOutcome {
+        cv_before,
+        cv_after: coefficient_of_variation(&site_load),
+        steps,
+        moved_gb,
+        total_downtime_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgescope_net::rng::log_normal_mean_cv;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A clustered metro: sites within ~30 km of each other.
+    fn metro(n: usize) -> Vec<GeoPoint> {
+        (0..n)
+            .map(|i| GeoPoint::new(30.0 + 0.05 * i as f64, 114.0 + 0.07 * i as f64))
+            .collect()
+    }
+
+    fn skewed_vms(rng: &mut StdRng, n_sites: usize, n_vms: usize) -> Vec<SchedVm> {
+        (0..n_vms)
+            .map(|_| {
+                // Skew: most VMs land on the first two sites.
+                let site = if rng.gen::<f64>() < 0.7 { rng.gen_range(0..2) } else { rng.gen_range(0..n_sites) };
+                SchedVm {
+                    site,
+                    load: log_normal_mean_cv(rng, 4.0, 0.8),
+                    mem_gb: *[8.0, 16.0, 32.0, 64.0].iter().nth(rng.gen_range(0..4)).unwrap(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rebalancing_reduces_cv() {
+        let sites = metro(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut vms = skewed_vms(&mut rng, 8, 300);
+        let out = rebalance(&sites, &mut vms, &MigrationConfig::default());
+        assert!(out.cv_before > 0.5, "setup must be imbalanced: {}", out.cv_before);
+        assert!(out.cv_after < out.cv_before * 0.5, "after {} before {}", out.cv_after, out.cv_before);
+        assert!(!out.steps.is_empty());
+        assert!(out.cv_reduction() > 0.5);
+    }
+
+    #[test]
+    fn loads_conserved() {
+        let sites = metro(6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut vms = skewed_vms(&mut rng, 6, 200);
+        let before: f64 = vms.iter().map(|v| v.load).sum();
+        rebalance(&sites, &mut vms, &MigrationConfig::default());
+        let after: f64 = vms.iter().map(|v| v.load).sum();
+        assert!((before - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_budget_respected() {
+        let sites = metro(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut vms = skewed_vms(&mut rng, 8, 400);
+        let cfg = MigrationConfig { max_migrations: 5, ..Default::default() };
+        let out = rebalance(&sites, &mut vms, &cfg);
+        assert!(out.steps.len() <= 5);
+        assert!((out.total_downtime_s - out.steps.len() as f64 * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_limit_blocks_distant_rebalancing() {
+        // Two far-apart clusters: the hot cluster cannot shed load to the
+        // remote one under a tight RTT limit.
+        let mut sites = metro(2);
+        sites.push(GeoPoint::new(45.0, 125.0)); // ~1900 km away
+        sites.push(GeoPoint::new(45.1, 125.1));
+        let mut vms: Vec<SchedVm> = (0..50)
+            .map(|_| SchedVm { site: 0, load: 2.0, mem_gb: 16.0 })
+            .collect();
+        let cfg = MigrationConfig { max_intersite_rtt_ms: 5.0, ..Default::default() };
+        let out = rebalance(&sites, &mut vms, &cfg);
+        for s in &out.steps {
+            assert!(s.to <= 1, "must stay in the metro, moved to {}", s.to);
+        }
+    }
+
+    #[test]
+    fn copy_cost_scales_with_memory() {
+        let cfg = MigrationConfig::default();
+        let sites = metro(2);
+        let mut small = vec![
+            SchedVm { site: 0, load: 10.0, mem_gb: 8.0 },
+            SchedVm { site: 0, load: 1.0, mem_gb: 8.0 },
+            SchedVm { site: 1, load: 0.1, mem_gb: 8.0 },
+        ];
+        let out_small = rebalance(&sites, &mut small, &cfg);
+        let mut large = vec![
+            SchedVm { site: 0, load: 10.0, mem_gb: 64.0 },
+            SchedVm { site: 0, load: 1.0, mem_gb: 64.0 },
+            SchedVm { site: 1, load: 0.1, mem_gb: 64.0 },
+        ];
+        let out_large = rebalance(&sites, &mut large, &cfg);
+        if let (Some(a), Some(b)) = (out_small.steps.first(), out_large.steps.first()) {
+            assert!(b.copy_s > 7.0 * a.copy_s, "64 GB must cost ~8x the 8 GB copy");
+        } else {
+            panic!("both scenarios should migrate");
+        }
+    }
+
+    #[test]
+    fn already_balanced_noop() {
+        let sites = metro(4);
+        let mut vms: Vec<SchedVm> = (0..4)
+            .flat_map(|s| (0..10).map(move |_| SchedVm { site: s, load: 1.0, mem_gb: 8.0 }))
+            .collect();
+        let out = rebalance(&sites, &mut vms, &MigrationConfig::default());
+        assert!(out.steps.is_empty());
+        assert_eq!(out.cv_before, out.cv_after);
+    }
+}

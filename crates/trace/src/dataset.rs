@@ -1,0 +1,396 @@
+//! Assembled trace datasets with the accessors §4's analyses need.
+//!
+//! A [`TraceDataset`] bundles the VM table with per-VM CPU/bandwidth
+//! series and exposes the groupings the paper's figures aggregate over:
+//! per-VM statistics (Fig. 10), per-app VM groups (Figs. 9/13), and
+//! per-server / per-site resource roll-ups (Fig. 11, computed exactly as
+//! the figure caption specifies: machine CPU = core-weighted mean of its
+//! VMs' CPU, site CPU = mean over machines, bandwidth = sums).
+
+use crate::flavor::{Flavor, FlavorParams};
+use crate::population::{generate_cloud, generate_nep, VmRecord};
+use crate::series::{TraceConfig, VmProfile};
+use edgescope_net::rng::log_normal;
+use edgescope_platform::deployment::Deployment;
+use edgescope_platform::ids::{AppId, ServerId, SiteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Per-VM time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmSeries {
+    /// CPU utilization in percent, one sample per `cpu_interval_min`.
+    pub cpu_util_pct: Vec<f32>,
+    /// Public bandwidth in Mbps, one sample per `bw_interval_min`.
+    pub bw_mbps: Vec<f32>,
+}
+
+/// A complete trace: VM table + series, aligned by index.
+#[derive(Debug, Clone)]
+pub struct TraceDataset {
+    /// Which platform this trace models.
+    pub flavor: Flavor,
+    /// Sampling configuration.
+    pub config: TraceConfig,
+    /// The VM table.
+    pub records: Vec<VmRecord>,
+    /// Per-VM series, aligned with `records` by index.
+    pub series: Vec<VmSeries>,
+}
+
+/// Draw the per-app base utilization (percent) from the flavour's
+/// idle/busy mixture.
+fn draw_app_base_util(rng: &mut impl Rng, p: &FlavorParams) -> f64 {
+    if rng.gen::<f64>() < p.idle_prob {
+        log_normal(rng, p.idle_median_pct.ln(), p.idle_sigma)
+    } else {
+        log_normal(rng, p.busy_median_pct.ln(), p.busy_sigma)
+    }
+}
+
+/// Draw the per-app within-app sigma (spread of its VMs' mean usage).
+fn draw_within_sigma(rng: &mut impl Rng, p: &FlavorParams) -> f64 {
+    log_normal(rng, p.within_app_sigma_median.ln(), p.within_app_sigma_spread)
+}
+
+impl TraceDataset {
+    /// Generate an NEP trace: builds a deployment of `n_sites`, places
+    /// `n_apps` apps through the §2 policy, and synthesizes series.
+    /// Returns the dataset together with the (now populated) deployment.
+    pub fn generate_nep(
+        seed: u64,
+        n_sites: usize,
+        n_apps: usize,
+        config: TraceConfig,
+    ) -> (Self, Deployment) {
+        let params = FlavorParams::edge_nep();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Workload studies use smaller sites (10–40 servers) so the placed
+        // population reaches realistic sales ratios; the national latency
+        // deployment keeps the paper's 10–180 range.
+        let mut deployment = Deployment::nep_custom(&mut rng, n_sites, 10, 40);
+        let records = generate_nep(&mut rng, &params, &mut deployment, n_apps);
+        let series = Self::make_series(&mut rng, &params, &records, &config);
+        (
+            TraceDataset { flavor: Flavor::EdgeNep, config, records, series },
+            deployment,
+        )
+    }
+
+    /// Generate an Azure-like cloud trace over `n_regions` regions.
+    pub fn generate_azure(seed: u64, n_regions: u32, n_apps: usize, config: TraceConfig) -> Self {
+        let params = FlavorParams::cloud_azure();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records = generate_cloud(&mut rng, &params, n_regions, n_apps);
+        let series = Self::make_series(&mut rng, &params, &records, &config);
+        TraceDataset { flavor: Flavor::CloudAzure, config, records, series }
+    }
+
+    fn make_series(
+        rng: &mut StdRng,
+        params: &FlavorParams,
+        records: &[VmRecord],
+        config: &TraceConfig,
+    ) -> Vec<VmSeries> {
+        // Per-app temporal identity: base utilization and within-app
+        // spread are app-level draws (an app's VMs resemble each other).
+        let mut app_base: BTreeMap<AppId, (f64, f64)> = BTreeMap::new();
+        for r in records {
+            app_base
+                .entry(r.app)
+                .or_insert_with(|| (draw_app_base_util(rng, params), draw_within_sigma(rng, params)));
+        }
+        records
+            .iter()
+            .map(|r| {
+                let (base, sigma) = app_base[&r.app];
+                // Mean-preserving within-app spread.
+                let factor = log_normal(rng, -sigma * sigma / 2.0, sigma);
+                let mean_util = (base * factor).clamp(0.1, 95.0);
+                let profile =
+                    VmProfile::draw(rng, params, r.category, mean_util, r.bandwidth_mbps);
+                VmSeries {
+                    cpu_util_pct: profile.cpu_series(rng, config),
+                    bw_mbps: profile.bw_series(rng, config),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of VMs.
+    pub fn n_vms(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Mean CPU utilization per VM (percent).
+    pub fn mean_cpu_per_vm(&self) -> Vec<f64> {
+        self.series
+            .iter()
+            .map(|s| s.cpu_util_pct.iter().map(|&v| v as f64).sum::<f64>()
+                / s.cpu_util_pct.len().max(1) as f64)
+            .collect()
+    }
+
+    /// 95th percentile of the CPU samples per VM — the paper's "P95 Max"
+    /// curve of Fig. 10(a).
+    pub fn p95_cpu_per_vm(&self) -> Vec<f64> {
+        self.series
+            .iter()
+            .map(|s| {
+                let mut xs: Vec<f64> = s.cpu_util_pct.iter().map(|&v| v as f64).collect();
+                xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let rank = 0.95 * (xs.len() - 1) as f64;
+                xs[rank.round() as usize]
+            })
+            .collect()
+    }
+
+    /// Across-time CPU coefficient of variation per VM (Fig. 10b).
+    pub fn cpu_cv_per_vm(&self) -> Vec<f64> {
+        self.series
+            .iter()
+            .map(|s| {
+                let xs: Vec<f64> = s.cpu_util_pct.iter().map(|&v| v as f64).collect();
+                let m = xs.iter().sum::<f64>() / xs.len() as f64;
+                if m == 0.0 {
+                    return 0.0;
+                }
+                let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+                var.sqrt() / m
+            })
+            .collect()
+    }
+
+    /// Mean bandwidth per VM (Mbps).
+    pub fn mean_bw_per_vm(&self) -> Vec<f64> {
+        self.series
+            .iter()
+            .map(|s| s.bw_mbps.iter().map(|&v| v as f64).sum::<f64>()
+                / s.bw_mbps.len().max(1) as f64)
+            .collect()
+    }
+
+    /// VM indices per app, ordered by app id.
+    pub fn vms_per_app(&self) -> BTreeMap<AppId, Vec<usize>> {
+        let mut m: BTreeMap<AppId, Vec<usize>> = BTreeMap::new();
+        for (i, r) in self.records.iter().enumerate() {
+            m.entry(r.app).or_default().push(i);
+        }
+        m
+    }
+
+    /// VM indices per server.
+    pub fn vms_per_server(&self) -> BTreeMap<ServerId, Vec<usize>> {
+        let mut m: BTreeMap<ServerId, Vec<usize>> = BTreeMap::new();
+        for (i, r) in self.records.iter().enumerate() {
+            m.entry(r.server).or_default().push(i);
+        }
+        m
+    }
+
+    /// VM indices per site.
+    pub fn vms_per_site(&self) -> BTreeMap<SiteId, Vec<usize>> {
+        let mut m: BTreeMap<SiteId, Vec<usize>> = BTreeMap::new();
+        for (i, r) in self.records.iter().enumerate() {
+            m.entry(r.site).or_default().push(i);
+        }
+        m
+    }
+
+    /// Fig. 11(a) machine metric: a machine's CPU usage is the
+    /// core-weighted mean CPU of its hosted VMs. Returns per-server values
+    /// (servers hosting at least one VM).
+    pub fn server_weighted_cpu(&self) -> Vec<f64> {
+        let means = self.mean_cpu_per_vm();
+        self.vms_per_server()
+            .values()
+            .map(|idxs| {
+                let mut wsum = 0.0;
+                let mut w = 0.0;
+                for &i in idxs {
+                    let cores = self.records[i].cores as f64;
+                    wsum += means[i] * cores;
+                    w += cores;
+                }
+                wsum / w
+            })
+            .collect()
+    }
+
+    /// Fig. 11(b) site metric: site CPU = mean over its machines' weighted
+    /// CPU. Returns `(site, value)` pairs.
+    pub fn site_cpu(&self) -> Vec<(SiteId, f64)> {
+        let means = self.mean_cpu_per_vm();
+        let mut per_server: BTreeMap<ServerId, (SiteId, f64, f64)> = BTreeMap::new();
+        for (i, r) in self.records.iter().enumerate() {
+            let e = per_server.entry(r.server).or_insert((r.site, 0.0, 0.0));
+            e.1 += means[i] * r.cores as f64;
+            e.2 += r.cores as f64;
+        }
+        let mut per_site: BTreeMap<SiteId, (f64, usize)> = BTreeMap::new();
+        for (_, (site, wsum, w)) in per_server {
+            let e = per_site.entry(site).or_insert((0.0, 0));
+            e.0 += wsum / w;
+            e.1 += 1;
+        }
+        per_site
+            .into_iter()
+            .map(|(s, (sum, n))| (s, sum / n as f64))
+            .collect()
+    }
+
+    /// Fig. 11(c) machine bandwidth: summed mean bandwidth of hosted VMs.
+    pub fn server_bw(&self) -> Vec<f64> {
+        let means = self.mean_bw_per_vm();
+        self.vms_per_server()
+            .values()
+            .map(|idxs| idxs.iter().map(|&i| means[i]).sum())
+            .collect()
+    }
+
+    /// Fig. 11(d) site bandwidth: summed over all VMs in the site.
+    pub fn site_bw(&self) -> Vec<(SiteId, f64)> {
+        let means = self.mean_bw_per_vm();
+        self.vms_per_site()
+            .into_iter()
+            .map(|(s, idxs)| (s, idxs.iter().map(|&i| means[i]).sum()))
+            .collect()
+    }
+
+    /// Aggregate bandwidth series of one site (element-wise sum over its
+    /// VMs) — the input to NEP's per-site network billing (§4.5 / App. D).
+    pub fn site_bw_series(&self, site: SiteId) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.config.bw_samples()];
+        for (i, r) in self.records.iter().enumerate() {
+            if r.site == site {
+                for (a, &v) in acc.iter_mut().zip(&self.series[i].bw_mbps) {
+                    *a += v as f64;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Per-app cross-VM usage gap: P95/P5 of the per-VM mean CPU of each
+    /// app with at least `min_vms` VMs (Fig. 13a).
+    pub fn app_usage_gaps(&self, min_vms: usize) -> Vec<f64> {
+        let means = self.mean_cpu_per_vm();
+        self.vms_per_app()
+            .values()
+            .filter(|idxs| idxs.len() >= min_vms)
+            .map(|idxs| {
+                let xs: Vec<f64> = idxs.iter().map(|&i| means[i]).collect();
+                edgescope_analysis::imbalance::gap_p95_p5(&xs, 0.1)
+            })
+            .collect()
+    }
+
+    /// Total traffic volume per app (sum of mean bandwidth across VMs) —
+    /// used to pick §4.5's "50 heaviest apps".
+    pub fn heaviest_apps(&self, n: usize) -> Vec<AppId> {
+        let means = self.mean_bw_per_vm();
+        let mut totals: Vec<(AppId, f64)> = self
+            .vms_per_app()
+            .into_iter()
+            .map(|(a, idxs)| (a, idxs.iter().map(|&i| means[i]).sum()))
+            .collect();
+        totals.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        totals.into_iter().take(n).map(|(a, _)| a).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> TraceConfig {
+        TraceConfig { days: 7, cpu_interval_min: 10, bw_interval_min: 30, start_weekday: 0 }
+    }
+
+    #[test]
+    fn nep_dataset_shape() {
+        let (ds, dep) = TraceDataset::generate_nep(1, 40, 40, small_cfg());
+        assert!(ds.n_vms() > 100, "{} VMs", ds.n_vms());
+        assert_eq!(ds.records.len(), ds.series.len());
+        assert_eq!(dep.n_sites(), 40);
+        for s in &ds.series {
+            assert_eq!(s.cpu_util_pct.len(), ds.config.cpu_samples());
+            assert_eq!(s.bw_mbps.len(), ds.config.bw_samples());
+        }
+    }
+
+    #[test]
+    fn azure_dataset_shape() {
+        let ds = TraceDataset::generate_azure(2, 10, 60, small_cfg());
+        assert!(ds.n_vms() > 100);
+        assert_eq!(ds.flavor, Flavor::CloudAzure);
+    }
+
+    #[test]
+    fn per_vm_stats_consistent() {
+        let (ds, _) = TraceDataset::generate_nep(3, 30, 30, small_cfg());
+        let means = ds.mean_cpu_per_vm();
+        let p95s = ds.p95_cpu_per_vm();
+        let cvs = ds.cpu_cv_per_vm();
+        assert_eq!(means.len(), ds.n_vms());
+        for i in 0..ds.n_vms() {
+            assert!(means[i] >= 0.0 && means[i] <= 100.0);
+            assert!(p95s[i] + 1e-9 >= means[i] * 0.5, "p95 can't sit far below mean");
+            assert!(cvs[i] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn groupings_partition_vms() {
+        let (ds, _) = TraceDataset::generate_nep(4, 30, 30, small_cfg());
+        let by_app: usize = ds.vms_per_app().values().map(|v| v.len()).sum();
+        let by_server: usize = ds.vms_per_server().values().map(|v| v.len()).sum();
+        let by_site: usize = ds.vms_per_site().values().map(|v| v.len()).sum();
+        assert_eq!(by_app, ds.n_vms());
+        assert_eq!(by_server, ds.n_vms());
+        assert_eq!(by_site, ds.n_vms());
+    }
+
+    #[test]
+    fn site_bw_series_sums_vm_series() {
+        let (ds, _) = TraceDataset::generate_nep(5, 20, 15, small_cfg());
+        let site = ds.records[0].site;
+        let agg = ds.site_bw_series(site);
+        assert_eq!(agg.len(), ds.config.bw_samples());
+        // Spot-check one timestep.
+        let t = agg.len() / 2;
+        let manual: f64 = ds
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.site == site)
+            .map(|(i, _)| ds.series[i].bw_mbps[t] as f64)
+            .sum();
+        assert!((agg[t] - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heaviest_apps_sorted_by_traffic() {
+        let (ds, _) = TraceDataset::generate_nep(6, 30, 40, small_cfg());
+        let heavy = ds.heaviest_apps(5);
+        assert_eq!(heavy.len(), 5);
+        let means = ds.mean_bw_per_vm();
+        let totals: BTreeMap<AppId, f64> = ds
+            .vms_per_app()
+            .into_iter()
+            .map(|(a, idxs)| (a, idxs.iter().map(|&i| means[i]).sum()))
+            .collect();
+        for w in heavy.windows(2) {
+            assert!(totals[&w[0]] >= totals[&w[1]]);
+        }
+    }
+
+    #[test]
+    fn deterministic_datasets() {
+        let (a, _) = TraceDataset::generate_nep(9, 20, 10, small_cfg());
+        let (b, _) = TraceDataset::generate_nep(9, 20, 10, small_cfg());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.series[0], b.series[0]);
+    }
+}

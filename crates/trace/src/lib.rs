@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! # edgescope-trace
+//!
+//! Synthetic workload traces standing in for (a) NEP's proprietary
+//! three-month VM trace and (b) the public Azure 2019 dataset, with the
+//! §2.1.2 schema: a VM table (placement, customer, app), per-VM resource
+//! sizes, CPU usage sampled every minute, and bandwidth sampled every five
+//! minutes.
+//!
+//! The generators are *calibrated to the distributions the paper reports*
+//! (§4.1–§4.4) rather than to any confidential raw data:
+//!
+//! | statistic | NEP target | Azure target |
+//! |---|---|---|
+//! | median vCPU / VM (Fig. 8) | 8 | 1 (90 % ≤ 4) |
+//! | median memory / VM (Fig. 8) | 32 GB | 4 GB (70 % ≤ 4) |
+//! | storage / VM | median 100 GB, mean 650 GB | n/a |
+//! | apps with ≥ 50 VMs (Fig. 9) | ≈ 9.6 % | ≈ 6.1 % |
+//! | VMs under 10 % mean CPU (Fig. 10a) | ≈ 74 % | ≈ 47 % |
+//! | median CPU CV over time (Fig. 10b) | ≈ 0.48 | ≈ 0.24 |
+//! | apps with > 50× cross-VM usage gap (Fig. 13a) | ≈ 16.3 % | ≈ 0.1 % |
+//! | mean seasonal strength (§4.4) | ≈ 0.42 | ≈ 0.26 |
+//!
+//! Modules:
+//! * [`app`] — application categories (§4.1's list) and their temporal
+//!   shapes;
+//! * [`flavor`] — the edge/cloud population parameter sets;
+//! * [`population`] — VM-table generation, including NEP placement through
+//!   `edgescope-platform`'s policy;
+//! * [`series`] — CPU/bandwidth time-series generation (diurnal + weekly
+//!   patterns, noise, drift);
+//! * [`dataset`] — the assembled [`dataset::TraceDataset`] with per-app /
+//!   per-site / per-server accessors;
+//! * [`io`] — TSV (VM table) and length-prefixed binary (series)
+//!   serialization.
+//!
+//! ## Omitted
+//! Kernel/image metadata from the schema (os type, image id) is carried as
+//! opaque small integers — nothing in the paper's analysis reads more than
+//! "same image = same app", which the generator encodes directly in
+//! [`population`].
+
+pub mod app;
+pub mod dataset;
+pub mod flavor;
+pub mod io;
+pub mod population;
+pub mod series;
+pub mod validate;
+
+pub use app::AppCategory;
+pub use dataset::{TraceDataset, VmSeries};
+pub use flavor::{Flavor, FlavorParams};
+pub use population::VmRecord;
+pub use series::TraceConfig;
+pub use validate::{validate, Violation};

@@ -1,0 +1,104 @@
+//! Property-based tests of the trace generators and (de)serializers.
+
+use bytes::Bytes;
+use edgescope_trace::app::AppCategory;
+use edgescope_trace::flavor::FlavorParams;
+use edgescope_trace::io::{series_from_bytes, series_to_bytes, vm_table_from_tsv, vm_table_to_tsv};
+use edgescope_trace::series::{TraceConfig, VmProfile};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_category(idx: usize) -> AppCategory {
+    const ALL: [AppCategory; 10] = [
+        AppCategory::LiveStreaming,
+        AppCategory::OnlineEducation,
+        AppCategory::ContentDelivery,
+        AppCategory::VideoConference,
+        AppCategory::VideoSurveillance,
+        AppCategory::CloudGaming,
+        AppCategory::WebService,
+        AppCategory::DevTest,
+        AppCategory::BatchCompute,
+        AppCategory::Database,
+    ];
+    ALL[idx % ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cpu_series_always_valid(
+        seed in 0u64..2000,
+        cat in 0usize..10,
+        util in 0.1..90.0f64,
+        days in 1usize..10,
+        interval in prop::sample::select(vec![1usize, 5, 10, 30, 60]),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = FlavorParams::edge_nep();
+        let p = VmProfile::draw(&mut rng, &params, any_category(cat), util, 100.0);
+        let cfg = TraceConfig { days, cpu_interval_min: interval, bw_interval_min: 60, start_weekday: 0 };
+        let xs = p.cpu_series(&mut rng, &cfg);
+        prop_assert_eq!(xs.len(), cfg.cpu_samples());
+        for v in &xs {
+            prop_assert!((0.0..=100.0).contains(v));
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn bw_series_always_nonnegative(
+        seed in 0u64..2000,
+        cat in 0usize..10,
+        sub in 1.0..1000.0f64,
+        days in 1usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = FlavorParams::cloud_azure();
+        let p = VmProfile::draw(&mut rng, &params, any_category(cat), 10.0, sub);
+        let cfg = TraceConfig { days, cpu_interval_min: 60, bw_interval_min: 30, start_weekday: 0 };
+        let xs = p.bw_series(&mut rng, &cfg);
+        prop_assert_eq!(xs.len(), cfg.bw_samples());
+        for v in &xs {
+            prop_assert!(*v >= 0.0 && v.is_finite());
+        }
+        // Mean bandwidth stays below the subscription (customers
+        // over-provision, §4.2).
+        let mean = xs.iter().map(|&v| v as f64).sum::<f64>() / xs.len() as f64;
+        prop_assert!(mean < sub * 1.5, "mean {mean} vs subscription {sub}");
+    }
+
+    #[test]
+    fn series_parser_never_panics_on_noise(raw in prop::collection::vec(any::<u8>(), 0..400)) {
+        // Corrupt/random input must produce Err or Ok, never a panic.
+        let _ = series_from_bytes(Bytes::from(raw));
+    }
+
+    #[test]
+    fn vm_table_parser_never_panics_on_noise(s in "\\PC*") {
+        let _ = vm_table_from_tsv(&s);
+    }
+
+    #[test]
+    fn series_truncation_always_detected(
+        seed in 0u64..200,
+        cut in 1usize..64,
+    ) {
+        let cfg = TraceConfig { days: 1, cpu_interval_min: 60, bw_interval_min: 120, start_weekday: 0 };
+        let ds = edgescope_trace::dataset::TraceDataset::generate_azure(seed, 2, 3, cfg);
+        let bytes = series_to_bytes(&ds.series);
+        prop_assume!(cut < bytes.len());
+        let truncated = bytes.slice(0..bytes.len() - cut);
+        prop_assert!(series_from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn tsv_roundtrip_any_generated_population(seed in 0u64..500) {
+        let cfg = TraceConfig { days: 1, cpu_interval_min: 60, bw_interval_min: 120, start_weekday: 0 };
+        let ds = edgescope_trace::dataset::TraceDataset::generate_azure(seed, 3, 5, cfg);
+        let parsed = vm_table_from_tsv(&vm_table_to_tsv(&ds.records)).unwrap();
+        prop_assert_eq!(parsed, ds.records);
+    }
+}

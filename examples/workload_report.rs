@@ -1,0 +1,79 @@
+//! Operator-side workload study (§4): generate NEP and Azure-like traces,
+//! print VM sizes, utilization, imbalance, predictability, and export the
+//! VM table + series artefacts.
+//!
+//! ```sh
+//! cargo run --release --example workload_report [n_apps]
+//! ```
+
+use edgescope::analysis::cdf::Cdf;
+use edgescope::analysis::stats::{mean, median};
+use edgescope::predict::eval::evaluate_holt_winters;
+use edgescope::predict::window::Aggregation;
+use edgescope::trace::dataset::TraceDataset;
+use edgescope::trace::io::{series_to_bytes, vm_table_to_tsv};
+use edgescope::trace::series::TraceConfig;
+
+fn main() {
+    let n_apps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let cfg = TraceConfig { days: 14, cpu_interval_min: 10, bw_interval_min: 30, start_weekday: 0 };
+    let (nep, _dep) = TraceDataset::generate_nep(5, 40, n_apps, cfg.clone());
+    let azure = TraceDataset::generate_azure(6, 10, n_apps, cfg);
+    println!("traces: NEP {} VMs, Azure {} VMs over 14 days\n", nep.n_vms(), azure.n_vms());
+
+    for (name, ds) in [("NEP", &nep), ("Azure", &azure)] {
+        let cores: Vec<f64> = ds.records.iter().map(|r| r.cores as f64).collect();
+        let mems: Vec<f64> = ds.records.iter().map(|r| r.mem_gb as f64).collect();
+        let means = ds.mean_cpu_per_vm();
+        let cvs = ds.cpu_cv_per_vm();
+        let idle = means.iter().filter(|&&m| m < 10.0).count() as f64 / means.len() as f64;
+        println!(
+            "{name}: median {:.0} cores / {:.0} GB; mean CPU {:.1}% ({:.0}% of VMs under 10%); CPU CV median {:.2}",
+            median(&cores),
+            median(&mems),
+            mean(&means),
+            100.0 * idle,
+            median(&cvs),
+        );
+    }
+
+    // Per-app imbalance (Fig. 13a).
+    let gaps = nep.app_usage_gaps(8);
+    if !gaps.is_empty() {
+        let c = Cdf::from_slice(&gaps);
+        println!(
+            "\nNEP per-app P95/P5 usage gap: median {:.1}x, worst {:.0}x over {} apps",
+            c.median(),
+            c.max(),
+            gaps.len()
+        );
+    }
+
+    // Predictability (Fig. 14, Holt-Winters, mean target) on a small
+    // stratified cohort.
+    let cohort: Vec<Vec<f64>> = nep
+        .series
+        .iter()
+        .step_by((nep.n_vms() / 6).max(1))
+        .map(|s| s.cpu_util_pct.iter().map(|&v| v as f64).collect())
+        .collect();
+    let rep = evaluate_holt_winters(&cohort, nep.config.cpu_samples_per_half_hour(), Aggregation::Mean);
+    if !rep.rmse_per_vm.is_empty() {
+        println!("NEP Holt-Winters next-half-hour RMSE (median): {:.1} pp", rep.median_rmse());
+    }
+
+    // Export the trace artefacts (the formats a dataset release would use).
+    let out = std::env::temp_dir().join("edgescope_workload_report");
+    std::fs::create_dir_all(&out).expect("create output dir");
+    let tsv = vm_table_to_tsv(&nep.records);
+    std::fs::write(out.join("nep_vm_table.tsv"), &tsv).expect("write tsv");
+    let bin = series_to_bytes(&nep.series);
+    std::fs::write(out.join("nep_series.bin"), &bin).expect("write series");
+    println!(
+        "\nexported {} VM rows ({} KB TSV) and series ({} MB binary) to {}",
+        nep.n_vms(),
+        tsv.len() / 1024,
+        bin.len() / (1024 * 1024),
+        out.display()
+    );
+}

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! # edgescope
+//!
+//! Umbrella crate for the EdgeScope workspace — a from-scratch Rust
+//! reproduction of *"From Cloud to Edge: A First Look at Public Edge
+//! Platforms"* (IMC 2021) as a simulation and analysis toolkit.
+//!
+//! This crate re-exports [`edgescope_core`], which in turn exposes the
+//! paper-calibrated scenarios and one experiment runner per table/figure.
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory.
+
+pub use edgescope_core::*;

@@ -1,0 +1,90 @@
+//! Cross-crate integration: build a world, run every experiment, and
+//! check the paper's qualitative findings hold end to end.
+
+use edgescope::analysis::stats::median;
+use edgescope::experiments::latency_study::LatencyStudy;
+use edgescope::experiments::workload_study::WorkloadStudy;
+use edgescope::experiments::run_all;
+use edgescope::net::access::AccessNetwork;
+use edgescope::{Scale, Scenario};
+
+#[test]
+fn full_reproduction_runs_and_reports() {
+    let scenario = Scenario::new(Scale::Quick, 1);
+    let reports = run_all(&scenario);
+    assert_eq!(reports.len(), 29);
+    for r in &reports {
+        let text = r.render();
+        assert!(text.contains(r.id), "report {} must carry its id", r.id);
+        assert!(!r.tables.is_empty() || !r.csv.is_empty(), "{} is empty", r.id);
+    }
+}
+
+#[test]
+fn finding_1_edge_latency_beats_cloud() {
+    // §3.1: lower delay AND lower jitter on the nearest edge, for every
+    // access network with enough users.
+    let scenario = Scenario::new(Scale::Quick, 2);
+    let study = LatencyStudy::run(&scenario);
+    for net in [AccessNetwork::Wifi, AccessNetwork::Lte] {
+        let a = study.campaign.fig2a(net);
+        let b = study.campaign.fig2b(net);
+        assert!(
+            median(&a.nearest_edge) < median(&a.nearest_cloud),
+            "{net}: delay"
+        );
+        assert!(
+            median(&a.nearest_cloud) < median(&a.all_clouds),
+            "{net}: all-clouds worst"
+        );
+        assert!(
+            median(&b.nearest_edge) < median(&b.nearest_cloud),
+            "{net}: jitter"
+        );
+    }
+}
+
+#[test]
+fn finding_4_edge_vms_bigger_but_idler() {
+    // §4.1/§4.2: NEP VMs subscribe more resources yet run idler.
+    let scenario = Scenario::new(Scale::Quick, 3);
+    let study = WorkloadStudy::run(&scenario);
+    let nep_cores: Vec<f64> = study.nep.records.iter().map(|r| r.cores as f64).collect();
+    let az_cores: Vec<f64> = study.azure.records.iter().map(|r| r.cores as f64).collect();
+    assert!(median(&nep_cores) >= 4.0 * median(&az_cores));
+    let nep_util = study.nep.mean_cpu_per_vm();
+    let az_util = study.azure.mean_cpu_per_vm();
+    assert!(
+        median(&nep_util) < median(&az_util),
+        "NEP util {} vs Azure {}",
+        median(&nep_util),
+        median(&az_util)
+    );
+}
+
+#[test]
+fn finding_6_load_imbalance_on_nep() {
+    // §4.3: resource usage across servers and apps is visibly unbalanced.
+    let scenario = Scenario::new(Scale::Quick, 4);
+    let study = WorkloadStudy::run(&scenario);
+    let server_bw = study.nep.server_bw();
+    assert!(server_bw.len() > 20);
+    let gap = edgescope::analysis::imbalance::gap_max_min(&server_bw, 0.01);
+    assert!(gap > 5.0, "server bandwidth gap {gap}");
+}
+
+#[test]
+fn reports_save_csv_artifacts() {
+    let scenario = Scenario::new(Scale::Quick, 5);
+    let study = LatencyStudy::run(&scenario);
+    let report = edgescope::experiments::fig2::run_a(&study);
+    let dir = std::env::temp_dir().join("edgescope_e2e_csv");
+    let files = report.save_csv(&dir).expect("save");
+    assert!(!files.is_empty());
+    for f in files {
+        let content = std::fs::read_to_string(&f).unwrap();
+        assert!(content.starts_with("x,cdf"), "{f:?}");
+        assert!(content.lines().count() > 10);
+        std::fs::remove_file(f).ok();
+    }
+}
