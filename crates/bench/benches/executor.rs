@@ -1,0 +1,24 @@
+//! Benches the campaign driver itself: the full `run_all` registry,
+//! serial vs. fanned out over the machine's cores — the headline number
+//! the parallel executor exists to improve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgescope_bench::bench_scenario;
+use edgescope_core::executor::{default_jobs, Executor};
+use edgescope_core::experiments::registry;
+
+fn bench_executor(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut g = c.benchmark_group("run_all");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| Executor::new(1).run(&scenario, registry()))
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| Executor::new(default_jobs()).run(&scenario, registry()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -11,6 +11,7 @@
 //! | `workload` | Fig. 8, Fig. 9, sales rates (§4.1), Fig. 10, Fig. 11, Fig. 12, Fig. 13 |
 //! | `prediction` | Fig. 14 |
 //! | `billing` | Table 1, Table 3 |
+//! | `executor` | the full `run_all` registry, serial vs. parallel |
 //!
 //! Each criterion group is named after its artefact (`fig2a`, `table3`, …)
 //! so `cargo bench -p edgescope-bench fig2a` regenerates exactly one.

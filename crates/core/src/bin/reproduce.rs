@@ -1,18 +1,33 @@
-//! Regenerate every table and figure of the paper.
+//! Regenerate the tables and figures of the paper.
 //!
 //! ```text
-//! EDGESCOPE_SCALE=quick|default|paper EDGESCOPE_SEED=42 \
-//!     cargo run --release -p edgescope-core --bin reproduce [results_dir]
+//! EDGESCOPE_SCALE=quick|default|paper EDGESCOPE_SEED=42 EDGESCOPE_JOBS=N \
+//!     cargo run --release -p edgescope-core --bin reproduce -- \
+//!     [--jobs N] [--only fig2a,table3,...] [results_dir]
 //! ```
 //!
-//! Prints every experiment's tables to stdout and writes the CSV series
-//! under `results_dir` (default `results/`).
+//! Prints every selected experiment's tables to stdout and writes under
+//! `results_dir` (default `results/`): the CSV series, a browsable
+//! `index.html` with a timing summary, and `timings.csv`
+//! (`name,kind,wall_ms`; one `stage` row per shared study build, one
+//! `experiment` row per experiment, one `total` row).
+//!
+//! `--jobs` (or `EDGESCOPE_JOBS`) sets the worker-thread count, default
+//! = available parallelism; invalid values fall back to the default.
+//! Reports are byte-identical across worker counts for the same seed.
+//! `--only` filters the registry by experiment name; unknown names abort
+//! with the list of valid names.
 
-use edgescope_core::experiments::run_all;
+use edgescope_core::executor::{parse_jobs, resolve_jobs, Executor};
+use edgescope_core::experiments::{registry, select_experiments};
+use edgescope_core::report::render_html_page_with_timings;
 use edgescope_core::scenario::{Scale, Scenario};
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+const USAGE: &str = "usage: reproduce [--jobs N] [--only name1,name2,...] [results_dir]";
+
+fn main() -> ExitCode {
     let scale = std::env::var("EDGESCOPE_SCALE")
         .ok()
         .and_then(|s| Scale::parse(&s))
@@ -21,13 +36,60 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(42u64);
-    let out_dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "results".into()).into();
 
-    eprintln!("edgescope reproduce: scale {scale:?}, seed {seed}, output {out_dir:?}");
-    let t0 = std::time::Instant::now();
+    let mut jobs_arg: Option<String> = None;
+    let mut only_arg: Option<String> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs_arg = Some(v.to_string());
+        } else if a == "--jobs" {
+            jobs_arg = args.next();
+        } else if let Some(v) = a.strip_prefix("--only=") {
+            only_arg = Some(v.to_string());
+        } else if a == "--only" {
+            only_arg = args.next();
+        } else if a == "--help" || a == "-h" {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        } else if a.starts_with('-') {
+            eprintln!("unknown flag {a:?}\n{USAGE}");
+            return ExitCode::from(2);
+        } else if out_dir.is_none() {
+            out_dir = Some(a.into());
+        } else {
+            eprintln!("unexpected extra argument {a:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let out_dir = out_dir.unwrap_or_else(|| "results".into());
+
+    if let Some(j) = jobs_arg.as_deref() {
+        if parse_jobs(j).is_none() {
+            eprintln!("warning: invalid --jobs value {j:?}; falling back to EDGESCOPE_JOBS/default");
+        }
+    }
+    let jobs = resolve_jobs(jobs_arg.as_deref(), std::env::var("EDGESCOPE_JOBS").ok().as_deref());
+
+    let specs = match only_arg.as_deref() {
+        None => registry(),
+        Some(only) => match select_experiments(registry(), only) {
+            Ok(specs) => specs,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    eprintln!(
+        "edgescope reproduce: scale {scale:?}, seed {seed}, {} experiment(s), {jobs} job(s), output {out_dir:?}",
+        specs.len()
+    );
     let scenario = Scenario::new(scale, seed);
-    let reports = run_all(&scenario);
-    for r in &reports {
+    let execution = Executor::new(jobs).run(&scenario, specs);
+    for r in &execution.reports {
         println!("{}", r.render());
         match r.save_csv(&out_dir) {
             Ok(files) => {
@@ -38,16 +100,34 @@ fn main() {
             Err(e) => eprintln!("[{}] csv write failed: {e}", r.id),
         }
     }
-    let html = edgescope_core::report::render_html_page("EdgeScope reproduction", &reports);
+
+    let timings = &execution.timings;
+    let html = render_html_page_with_timings(
+        "EdgeScope reproduction",
+        &execution.reports,
+        &[timings.summary_table()],
+    );
     match std::fs::create_dir_all(&out_dir)
         .and_then(|_| std::fs::write(out_dir.join("index.html"), html))
+        .and_then(|_| std::fs::write(out_dir.join("timings.csv"), timings.to_csv()))
     {
-        Ok(()) => eprintln!("wrote {}", out_dir.join("index.html").display()),
-        Err(e) => eprintln!("html write failed: {e}"),
+        Ok(()) => eprintln!(
+            "wrote {} and {}",
+            out_dir.join("index.html").display(),
+            out_dir.join("timings.csv").display()
+        ),
+        Err(e) => eprintln!("results write failed: {e}"),
     }
-    eprintln!(
-        "done: {} experiments in {:.1}s",
-        reports.len(),
-        t0.elapsed().as_secs_f64()
-    );
+
+    match timings.peak() {
+        Some(peak) => eprintln!(
+            "done: {} experiments in {:.1}s on {jobs} job(s) (slowest: {} at {:.1}ms)",
+            execution.reports.len(),
+            timings.total_ms / 1e3,
+            peak.name,
+            peak.wall_ms
+        ),
+        None => eprintln!("done: 0 experiments in {:.1}s", timings.total_ms / 1e3),
+    }
+    ExitCode::SUCCESS
 }

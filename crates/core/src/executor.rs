@@ -1,0 +1,341 @@
+//! Parallel experiment execution with per-experiment timing.
+//!
+//! The [`Executor`] fans the runners of an experiment registry (see
+//! [`crate::experiments::registry`]) out over `crossbeam` scoped worker
+//! threads and collects the reports back **in registry order**, so the
+//! rendered output is independent of the worker count. This is safe
+//! because of the determinism contract documented in [`crate::scenario`]:
+//! every experiment derives its own RNG from `(seed, tag)` and shares no
+//! mutable state with its peers.
+//!
+//! Alongside the reports, the executor records wall-clock [`Timings`]:
+//! one entry per shared study build ("stage") and one per experiment,
+//! exported as `results/timings.csv` by the `reproduce` binary and as a
+//! summary table on the HTML page.
+
+use crate::experiments::{latency_study::LatencyStudy, workload_study::WorkloadStudy};
+use crate::experiments::{ExperimentSpec, Studies};
+use crate::report::ExperimentReport;
+use crate::scenario::Scenario;
+use edgescope_analysis::table::Table;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One named wall-clock measurement, in milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEntry {
+    /// What was timed — an experiment name, or `study:latency` /
+    /// `study:workload` for the shared stages.
+    pub name: String,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Wall-clock timings of one [`Executor::run`] campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timings {
+    /// Worker threads the campaign ran with.
+    pub jobs: usize,
+    /// Shared study builds (`study:latency`, `study:workload`), in build
+    /// order.
+    pub stages: Vec<TimedEntry>,
+    /// One entry per experiment, in registry order.
+    pub experiments: Vec<TimedEntry>,
+    /// End-to-end wall-clock of the whole campaign in milliseconds
+    /// (studies + experiments; less than the per-entry sum when `jobs > 1`).
+    pub total_ms: f64,
+}
+
+impl Timings {
+    /// The slowest single experiment, if any ran.
+    pub fn peak(&self) -> Option<&TimedEntry> {
+        self.experiments
+            .iter()
+            .max_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
+    }
+
+    /// Render as CSV with the schema `name,kind,wall_ms` where `kind` is
+    /// `stage` (shared study build), `experiment`, or `total` (one final
+    /// row with the campaign wall-clock).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,kind,wall_ms\n");
+        for e in &self.stages {
+            out.push_str(&format!("{},stage,{:.3}\n", e.name, e.wall_ms));
+        }
+        for e in &self.experiments {
+            out.push_str(&format!("{},experiment,{:.3}\n", e.name, e.wall_ms));
+        }
+        out.push_str(&format!("total,total,{:.3}\n", self.total_ms));
+        out
+    }
+
+    /// The timings as a renderable [`Table`] (the HTML page appends it
+    /// after the experiment sections).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("Execution timings ({} worker(s))", self.jobs),
+            &["name", "kind", "wall_ms"],
+        );
+        for e in &self.stages {
+            t.row(vec![e.name.clone(), "stage".into(), format!("{:.1}", e.wall_ms)]);
+        }
+        for e in &self.experiments {
+            t.row(vec![e.name.clone(), "experiment".into(), format!("{:.1}", e.wall_ms)]);
+        }
+        t.row(vec!["total".into(), "total".into(), format!("{:.1}", self.total_ms)]);
+        t
+    }
+}
+
+/// The outcome of one [`Executor::run`] campaign: reports in registry
+/// order plus the recorded [`Timings`].
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// One report per executed experiment, in registry order — identical
+    /// across worker counts for the same scenario.
+    pub reports: Vec<ExperimentReport>,
+    /// Per-stage and per-experiment wall-clock.
+    pub timings: Timings,
+}
+
+/// Runs a set of [`ExperimentSpec`]s over a pool of scoped worker
+/// threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Executor {
+    /// An executor with `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Executor { jobs: jobs.max(1) }
+    }
+
+    /// A single-threaded executor — equivalent to the historical serial
+    /// `run_all`.
+    pub fn serial() -> Self {
+        Executor::new(1)
+    }
+
+    /// An executor sized from `EDGESCOPE_JOBS`, falling back to the
+    /// machine's available parallelism.
+    pub fn from_env() -> Self {
+        Executor::new(resolve_jobs(None, std::env::var("EDGESCOPE_JOBS").ok().as_deref()))
+    }
+
+    /// The worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run every spec against `scenario` and collect reports in spec
+    /// order. Shared studies are built first (concurrently with each
+    /// other when both are needed and `jobs > 1`), then the experiment
+    /// runners fan out over the worker pool.
+    pub fn run(&self, scenario: &Scenario, specs: Vec<ExperimentSpec>) -> Execution {
+        let t0 = Instant::now();
+        let need_latency = specs.iter().any(|s| s.needs.latency);
+        let need_workload = specs.iter().any(|s| s.needs.workload);
+
+        let mut stages = Vec::new();
+        let mut studies = Studies::none();
+        if need_latency && need_workload && self.jobs > 1 {
+            let mut latency_built: Option<(LatencyStudy, f64)> = None;
+            let mut workload_built: Option<(WorkloadStudy, f64)> = None;
+            crossbeam::thread::scope(|sc| {
+                let handle = sc.spawn(|_| {
+                    let t = Instant::now();
+                    let study = LatencyStudy::run(scenario);
+                    (study, elapsed_ms(t))
+                });
+                let t = Instant::now();
+                let workload = WorkloadStudy::run(scenario);
+                workload_built = Some((workload, elapsed_ms(t)));
+                latency_built = Some(handle.join().expect("latency study panicked"));
+            })
+            .expect("study worker panicked");
+            let (latency, latency_ms) = latency_built.expect("latency study not built");
+            let (workload, workload_ms) = workload_built.expect("workload study not built");
+            stages.push(TimedEntry { name: "study:latency".into(), wall_ms: latency_ms });
+            stages.push(TimedEntry { name: "study:workload".into(), wall_ms: workload_ms });
+            studies.latency = Some(latency);
+            studies.workload = Some(workload);
+        } else {
+            if need_latency {
+                let t = Instant::now();
+                studies.latency = Some(LatencyStudy::run(scenario));
+                stages.push(TimedEntry { name: "study:latency".into(), wall_ms: elapsed_ms(t) });
+            }
+            if need_workload {
+                let t = Instant::now();
+                studies.workload = Some(WorkloadStudy::run(scenario));
+                stages.push(TimedEntry { name: "study:workload".into(), wall_ms: elapsed_ms(t) });
+            }
+        }
+
+        let n = specs.len();
+        let workers = self.jobs.min(n.max(1));
+        let mut reports = Vec::with_capacity(n);
+        let mut experiments = Vec::with_capacity(n);
+        if workers <= 1 {
+            for spec in &specs {
+                let t = Instant::now();
+                let report = spec.run(scenario, &studies);
+                experiments.push(TimedEntry { name: spec.name.to_string(), wall_ms: elapsed_ms(t) });
+                reports.push(report);
+            }
+        } else {
+            // A shared atomic cursor hands out registry indices; each
+            // worker writes into its slot, so collection order is the
+            // registry order regardless of completion order.
+            let slots: Vec<Mutex<Option<(ExperimentReport, f64)>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let specs_ref = &specs;
+            let studies_ref = &studies;
+            let slots_ref = &slots;
+            let next_ref = &next;
+            crossbeam::thread::scope(|sc| {
+                for _ in 0..workers {
+                    sc.spawn(move |_| loop {
+                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let t = Instant::now();
+                        let report = specs_ref[i].run(scenario, studies_ref);
+                        *slots_ref[i].lock() = Some((report, elapsed_ms(t)));
+                    });
+                }
+            })
+            .expect("experiment worker panicked");
+            for (spec, slot) in specs.iter().zip(slots) {
+                let (report, wall_ms) = slot.into_inner().expect("experiment never ran");
+                experiments.push(TimedEntry { name: spec.name.to_string(), wall_ms });
+                reports.push(report);
+            }
+        }
+
+        Execution {
+            reports,
+            timings: Timings { jobs: self.jobs, stages, experiments, total_ms: elapsed_ms(t0) },
+        }
+    }
+}
+
+fn elapsed_ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Parse a `--jobs` / `EDGESCOPE_JOBS` value: a positive integer, else
+/// `None`.
+pub fn parse_jobs(s: &str) -> Option<usize> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// Resolve the worker count: CLI value, then environment value, then
+/// [`default_jobs`]. Invalid values at any layer fall through to the
+/// next.
+pub fn resolve_jobs(cli: Option<&str>, env: Option<&str>) -> usize {
+    cli.and_then(parse_jobs)
+        .or_else(|| env.and_then(parse_jobs))
+        .unwrap_or_else(default_jobs)
+}
+
+/// The machine's available parallelism (1 if it cannot be queried).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{registry, select_experiments, Needs};
+    use crate::scenario::Scale;
+
+    fn tiny_spec(name: &'static str) -> ExperimentSpec {
+        ExperimentSpec::new(name, Needs::default(), |_, _| {
+            let mut r = ExperimentReport::new("tiny", "tiny experiment");
+            r.notes.push("ok".into());
+            r
+        })
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        assert_eq!(parse_jobs("4"), Some(4));
+        assert_eq!(parse_jobs(" 2 "), Some(2));
+        assert_eq!(parse_jobs("0"), None);
+        assert_eq!(parse_jobs("-3"), None);
+        assert_eq!(parse_jobs("many"), None);
+        assert_eq!(parse_jobs(""), None);
+    }
+
+    #[test]
+    fn jobs_resolution_falls_back_cleanly() {
+        assert_eq!(resolve_jobs(Some("3"), Some("7")), 3);
+        assert_eq!(resolve_jobs(Some("bogus"), Some("7")), 7);
+        assert_eq!(resolve_jobs(None, Some("7")), 7);
+        assert_eq!(resolve_jobs(Some("0"), None), default_jobs());
+        assert_eq!(resolve_jobs(None, None), default_jobs());
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn executor_clamps_jobs() {
+        assert_eq!(Executor::new(0).jobs(), 1);
+        assert_eq!(Executor::serial().jobs(), 1);
+        assert_eq!(Executor::new(8).jobs(), 8);
+    }
+
+    #[test]
+    fn parallel_preserves_spec_order_and_times_everything() {
+        let specs = vec![
+            tiny_spec("e1"),
+            tiny_spec("e2"),
+            tiny_spec("e3"),
+            tiny_spec("e4"),
+            tiny_spec("e5"),
+            tiny_spec("e6"),
+        ];
+        let scenario = Scenario::new(Scale::Quick, 7);
+        let exec = Executor::new(4).run(&scenario, specs);
+        assert_eq!(exec.reports.len(), 6);
+        let names: Vec<&str> = exec.timings.experiments.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["e1", "e2", "e3", "e4", "e5", "e6"]);
+        assert!(exec.timings.stages.is_empty(), "no study needed by tiny specs");
+        assert!(exec.timings.experiments.iter().all(|e| e.wall_ms >= 0.0));
+        assert!(exec.timings.peak().is_some());
+    }
+
+    #[test]
+    fn timings_csv_schema() {
+        let scenario = Scenario::new(Scale::Quick, 7);
+        let exec = Executor::new(2).run(&scenario, vec![tiny_spec("a"), tiny_spec("b")]);
+        let csv = exec.timings.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,kind,wall_ms");
+        // 2 experiments + total, no stages.
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("a,experiment,"));
+        assert!(lines[2].starts_with("b,experiment,"));
+        assert!(lines[3].starts_with("total,total,"));
+        let table = exec.timings.summary_table();
+        assert_eq!(table.n_rows(), 3);
+    }
+
+    #[test]
+    fn stages_recorded_when_studies_needed() {
+        let specs = select_experiments(registry(), "fig3").expect("fig3 exists");
+        let scenario = Scenario::new(Scale::Quick, 7);
+        let exec = Executor::serial().run(&scenario, specs);
+        let stage_names: Vec<&str> = exec.timings.stages.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(stage_names, ["study:latency"], "only the needed study is built");
+        assert_eq!(exec.reports.len(), 1);
+        assert_eq!(exec.reports[0].id, "fig3");
+    }
+}

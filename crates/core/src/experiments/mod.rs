@@ -3,8 +3,12 @@
 //! The latency experiments (fig2/table2/fig3) share one crowd campaign
 //! ([`latency_study::LatencyStudy`]); the workload experiments (fig8–
 //! fig14, table3, sales) share one pair of traces
-//! ([`workload_study::WorkloadStudy`]). [`run_all`] builds both once and
-//! regenerates every artefact in paper order.
+//! ([`workload_study::WorkloadStudy`]). The [`registry`] names every
+//! experiment (name == report id, e.g. `fig2a`) together with the shared
+//! studies it [`Needs`]; the [`crate::executor::Executor`] builds the
+//! needed studies once and fans the runners out over worker threads.
+//! [`run_all`] is the serial convenience wrapper that regenerates every
+//! artefact in paper order.
 
 pub mod fig10;
 pub mod fig11;
@@ -40,41 +44,149 @@ pub mod workload_study;
 use crate::report::ExperimentReport;
 use crate::scenario::Scenario;
 
-/// Run every experiment at the scenario's scale, in paper order.
-pub fn run_all(scenario: &Scenario) -> Vec<ExperimentReport> {
-    let latency = latency_study::LatencyStudy::run(scenario);
-    let workload = workload_study::WorkloadStudy::run(scenario);
+/// The shared study state experiments draw on. The executor builds only
+/// the studies the selected experiments [`Needs`] declare.
+pub struct Studies {
+    /// The crowd latency campaign (fig2/table2/fig3), if built.
+    pub latency: Option<latency_study::LatencyStudy>,
+    /// The NEP/Azure trace pair (fig8–fig14, table3, sales, ext_*), if
+    /// built.
+    pub workload: Option<workload_study::WorkloadStudy>,
+}
+
+impl Studies {
+    /// No studies built — enough for experiments with no [`Needs`].
+    pub fn none() -> Self {
+        Studies { latency: None, workload: None }
+    }
+
+    /// The latency study. Panics if the executor did not build it — a
+    /// registry entry forgot to declare `Needs::latency`.
+    pub fn latency(&self) -> &latency_study::LatencyStudy {
+        self.latency.as_ref().expect("latency study not built: spec must declare needs.latency")
+    }
+
+    /// The workload study. Panics if the executor did not build it — a
+    /// registry entry forgot to declare `Needs::workload`.
+    pub fn workload(&self) -> &workload_study::WorkloadStudy {
+        self.workload.as_ref().expect("workload study not built: spec must declare needs.workload")
+    }
+}
+
+/// Which shared studies an experiment reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Needs {
+    /// Reads the crowd latency campaign.
+    pub latency: bool,
+    /// Reads the NEP/Azure trace pair.
+    pub workload: bool,
+}
+
+/// No shared study.
+const NONE: Needs = Needs { latency: false, workload: false };
+/// The latency campaign only.
+const LAT: Needs = Needs { latency: true, workload: false };
+/// The trace pair only.
+const WL: Needs = Needs { latency: false, workload: true };
+
+/// The uniform runner signature every registry entry adapts to.
+pub type Runner = fn(&Scenario, &Studies) -> ExperimentReport;
+
+/// One named experiment: its registry name (== the report id it
+/// produces), the shared studies it needs, and its runner.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Registry name, matching the produced report id (`fig2a`,
+    /// `table3`, …).
+    pub name: &'static str,
+    /// Shared studies the runner reads.
+    pub needs: Needs,
+    runner: Runner,
+}
+
+impl ExperimentSpec {
+    /// A new spec. `name` must equal the id of the report `runner`
+    /// returns.
+    pub fn new(name: &'static str, needs: Needs, runner: Runner) -> Self {
+        ExperimentSpec { name, needs, runner }
+    }
+
+    /// Run the experiment. `studies` must hold whatever [`Needs`]
+    /// declares.
+    pub fn run(&self, scenario: &Scenario, studies: &Studies) -> ExperimentReport {
+        (self.runner)(scenario, studies)
+    }
+}
+
+/// Every experiment in paper order — 19 paper artefacts, 2 appendix
+/// tables, 8 extensions. Names match report ids, so `reproduce --only
+/// fig2a,table3` selects by the ids printed in reports and EXPERIMENTS.md.
+pub fn registry() -> Vec<ExperimentSpec> {
     vec![
-        table1::run(),
-        fig2::run_a(&latency),
-        fig2::run_b(&latency),
-        table2::run(&latency),
-        fig3::run(&latency),
-        fig4::run(scenario),
-        fig5::run(scenario),
-        fig6::run(scenario),
-        fig7::run(scenario),
-        table6::run(scenario),
-        fig8::run(&workload),
-        fig9::run(&workload),
-        sales_rate::run(&workload),
-        fig10::run(&workload),
-        fig11::run(&workload),
-        fig12::run(&workload),
-        fig13::run(&workload),
-        fig14::run(scenario, &workload),
-        table3::run(scenario, &workload),
-        table4::run(),
-        table5::run(),
-        ext_gslb::run(scenario),
-        ext_migration::run(&workload),
-        ext_elastic::run(scenario),
-        ext_predictive::run(scenario),
-        ext_predictors::run(scenario, &workload),
-        ext_fragmentation::run(scenario),
-        ext_billing::run(scenario, &workload),
-        ext_framesim::run(scenario),
+        ExperimentSpec::new("table1", NONE, |_, _| table1::run()),
+        ExperimentSpec::new("fig2a", LAT, |_, st| fig2::run_a(st.latency())),
+        ExperimentSpec::new("fig2b", LAT, |_, st| fig2::run_b(st.latency())),
+        ExperimentSpec::new("table2", LAT, |_, st| table2::run(st.latency())),
+        ExperimentSpec::new("fig3", LAT, |_, st| fig3::run(st.latency())),
+        ExperimentSpec::new("fig4", NONE, |sc, _| fig4::run(sc)),
+        ExperimentSpec::new("fig5", NONE, |sc, _| fig5::run(sc)),
+        ExperimentSpec::new("fig6", NONE, |sc, _| fig6::run(sc)),
+        ExperimentSpec::new("fig7", NONE, |sc, _| fig7::run(sc)),
+        ExperimentSpec::new("table6", NONE, |sc, _| table6::run(sc)),
+        ExperimentSpec::new("fig8", WL, |_, st| fig8::run(st.workload())),
+        ExperimentSpec::new("fig9", WL, |_, st| fig9::run(st.workload())),
+        ExperimentSpec::new("sales", WL, |_, st| sales_rate::run(st.workload())),
+        ExperimentSpec::new("fig10", WL, |_, st| fig10::run(st.workload())),
+        ExperimentSpec::new("fig11", WL, |_, st| fig11::run(st.workload())),
+        ExperimentSpec::new("fig12", WL, |_, st| fig12::run(st.workload())),
+        ExperimentSpec::new("fig13", WL, |_, st| fig13::run(st.workload())),
+        ExperimentSpec::new("fig14", WL, |sc, st| fig14::run(sc, st.workload())),
+        ExperimentSpec::new("table3", WL, |sc, st| table3::run(sc, st.workload())),
+        ExperimentSpec::new("table4", NONE, |_, _| table4::run()),
+        ExperimentSpec::new("table5", NONE, |_, _| table5::run()),
+        ExperimentSpec::new("ext_gslb", NONE, |sc, _| ext_gslb::run(sc)),
+        ExperimentSpec::new("ext_migration", WL, |_, st| ext_migration::run(st.workload())),
+        ExperimentSpec::new("ext_elastic", NONE, |sc, _| ext_elastic::run(sc)),
+        ExperimentSpec::new("ext_predictive", NONE, |sc, _| ext_predictive::run(sc)),
+        ExperimentSpec::new("ext_predictors", WL, |sc, st| ext_predictors::run(sc, st.workload())),
+        ExperimentSpec::new("ext_fragmentation", NONE, |sc, _| ext_fragmentation::run(sc)),
+        ExperimentSpec::new("ext_billing", WL, |sc, st| ext_billing::run(sc, st.workload())),
+        ExperimentSpec::new("ext_framesim", NONE, |sc, _| ext_framesim::run(sc)),
     ]
+}
+
+/// Filter `specs` down to the comma-separated names in `only`
+/// (case-insensitive, whitespace-tolerant), preserving registry order.
+/// Unknown names — or a selection that matches nothing — error with the
+/// list of valid names.
+pub fn select_experiments(
+    specs: Vec<ExperimentSpec>,
+    only: &str,
+) -> Result<Vec<ExperimentSpec>, String> {
+    let wanted: Vec<String> = only
+        .split(',')
+        .map(|s| s.trim().to_ascii_lowercase())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let valid = || specs.iter().map(|s| s.name).collect::<Vec<_>>().join(", ");
+    for w in &wanted {
+        if !specs.iter().any(|s| s.name == w) {
+            return Err(format!("unknown experiment '{w}'; valid names: {}", valid()));
+        }
+    }
+    if wanted.is_empty() {
+        return Err(format!("--only selected no experiments; valid names: {}", valid()));
+    }
+    Ok(specs
+        .into_iter()
+        .filter(|s| wanted.iter().any(|w| w == s.name))
+        .collect())
+}
+
+/// Run every experiment at the scenario's scale, serially, in paper
+/// order. Equivalent to `Executor::serial().run(scenario, registry())`.
+pub fn run_all(scenario: &Scenario) -> Vec<ExperimentReport> {
+    crate::executor::Executor::serial().run(scenario, registry()).reports
 }
 
 #[cfg(test)]
@@ -97,5 +209,33 @@ mod tests {
         for r in &reports {
             assert!(!r.render().is_empty());
         }
+        // Registry names are the report ids, in the same order — the
+        // contract `--only` and the timings rows rely on.
+        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        assert_eq!(names, ids);
+    }
+
+    #[test]
+    fn selection_preserves_registry_order() {
+        let picked = select_experiments(registry(), "table2, FIG2A").expect("valid names");
+        let names: Vec<&str> = picked.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["fig2a", "table2"], "registry order, not request order");
+    }
+
+    #[test]
+    fn selection_rejects_unknown_names() {
+        let err = select_experiments(registry(), "fig2a,fig99").unwrap_err();
+        assert!(err.contains("fig99"), "names the offender: {err}");
+        assert!(err.contains("fig2a") && err.contains("ext_framesim"), "lists valid names: {err}");
+        let err = select_experiments(registry(), " , ").unwrap_err();
+        assert!(err.contains("no experiments"), "{err}");
+    }
+
+    #[test]
+    fn selection_only_builds_what_it_needs() {
+        let picked = select_experiments(registry(), "table1,table4").expect("valid");
+        assert!(picked.iter().all(|s| s.needs == Needs::default()));
+        let picked = select_experiments(registry(), "fig14").expect("valid");
+        assert!(picked[0].needs.workload && !picked[0].needs.latency);
     }
 }

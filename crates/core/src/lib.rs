@@ -10,18 +10,25 @@
 //!   but faster reduction), and `quick` (CI-sized);
 //! * [`report`] — experiment outputs: aligned text tables plus CSV series
 //!   for re-plotting;
+//! * [`executor`] — the parallel campaign driver: fans the experiment
+//!   [`experiments::registry`] out over worker threads (`--jobs` /
+//!   `EDGESCOPE_JOBS`) and records per-experiment wall-clock timings;
 //! * [`experiments`] — `table1`, `fig2`, `table2`, `fig3`, `fig4`, `fig5`,
 //!   `fig6`, `fig7`, `table6`, `fig8`, `fig9`, `sales_rate`, `fig10`,
 //!   `fig11`, `fig12`, `fig13`, `fig14`, `table3` — each regenerates its
 //!   artefact and returns an [`report::ExperimentReport`].
 //!
-//! The `reproduce` binary runs everything and writes `results/` — see
-//! `EXPERIMENTS.md` at the workspace root for paper-vs-measured values.
+//! The `reproduce` binary runs everything (in parallel with `--jobs N`,
+//! filtered with `--only fig2a,table3`) and writes `results/`, including
+//! per-experiment `timings.csv` — see `EXPERIMENTS.md` at the workspace
+//! root for paper-vs-measured values.
 
+pub mod executor;
 pub mod experiments;
 pub mod report;
 pub mod scenario;
 
+pub use executor::{Execution, Executor, Timings};
 pub use report::ExperimentReport;
 pub use scenario::{Scale, Scenario};
 

@@ -51,9 +51,6 @@ impl ExperimentReport {
     /// Render the report as a self-contained HTML fragment (tables +
     /// notes). [`render_html_page`] stitches fragments into a document.
     pub fn render_html(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
-        }
         let mut out = String::new();
         out.push_str(&format!(
             "<section id=\"{}\">\n<h2>[{}] {}</h2>\n",
@@ -62,23 +59,7 @@ impl ExperimentReport {
             esc(&self.title)
         ));
         for t in &self.tables {
-            // Re-parse the CSV rendering: header line + rows.
-            let csv = t.to_csv();
-            let mut lines = csv.lines();
-            let header = lines.next().unwrap_or_default();
-            out.push_str(&format!("<h3>{}</h3>\n<table>\n<thead><tr>", esc(t.title())));
-            for cell in header.split(',') {
-                out.push_str(&format!("<th>{}</th>", esc(cell)));
-            }
-            out.push_str("</tr></thead>\n<tbody>\n");
-            for row in lines {
-                out.push_str("<tr>");
-                for cell in row.split(',') {
-                    out.push_str(&format!("<td>{}</td>", esc(cell)));
-                }
-                out.push_str("</tr>\n");
-            }
-            out.push_str("</tbody>\n</table>\n");
+            html_table(t, &mut out);
         }
         for n in &self.notes {
             out.push_str(&format!("<p class=\"note\">{}</p>\n", esc(n)));
@@ -110,9 +91,45 @@ impl ExperimentReport {
     }
 }
 
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Append `t` to `out` as an HTML `<h3>` + `<table>` (re-parsing the
+/// table's CSV rendering: header line + rows).
+fn html_table(t: &Table, out: &mut String) {
+    let csv = t.to_csv();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap_or_default();
+    out.push_str(&format!("<h3>{}</h3>\n<table>\n<thead><tr>", esc(t.title())));
+    for cell in header.split(',') {
+        out.push_str(&format!("<th>{}</th>", esc(cell)));
+    }
+    out.push_str("</tr></thead>\n<tbody>\n");
+    for row in lines {
+        out.push_str("<tr>");
+        for cell in row.split(',') {
+            out.push_str(&format!("<td>{}</td>", esc(cell)));
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</tbody>\n</table>\n");
+}
+
 /// Stitch a set of reports into one self-contained HTML page (inline CSS,
 /// no external assets — openable from `file://`).
 pub fn render_html_page(title: &str, reports: &[ExperimentReport]) -> String {
+    render_html_page_with_timings(title, reports, &[])
+}
+
+/// Like [`render_html_page`], with an extra "Execution timings" section
+/// appended after the experiments — the `reproduce` binary passes
+/// [`crate::executor::Timings::summary_table`] here.
+pub fn render_html_page_with_timings(
+    title: &str,
+    reports: &[ExperimentReport],
+    timings: &[Table],
+) -> String {
     let mut out = String::from("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
     out.push_str(&format!("<title>{title}</title>\n"));
     out.push_str(
@@ -127,9 +144,19 @@ pub fn render_html_page(title: &str, reports: &[ExperimentReport]) -> String {
     for r in reports {
         out.push_str(&format!("<a href=\"#{}\">{}</a>", r.id, r.id));
     }
+    if !timings.is_empty() {
+        out.push_str("<a href=\"#timings\">timings</a>");
+    }
     out.push_str("</nav>\n");
     for r in reports {
         out.push_str(&r.render_html());
+    }
+    if !timings.is_empty() {
+        out.push_str("<section id=\"timings\">\n<h2>Execution timings</h2>\n");
+        for t in timings {
+            html_table(t, &mut out);
+        }
+        out.push_str("</section>\n");
     }
     out.push_str("</body></html>\n");
     out
@@ -203,6 +230,19 @@ mod tests {
         assert!(page.starts_with("<!DOCTYPE html>"));
         assert!(page.contains("<nav><a href=\"#figZ\">"));
         assert!(page.ends_with("</body></html>\n"));
+    }
+
+    #[test]
+    fn timings_section_appended_when_present() {
+        let r = ExperimentReport::new("figW", "demo");
+        let mut t = Table::new("Execution timings (2 worker(s))", &["name", "kind", "wall_ms"]);
+        t.row(vec!["fig2a".into(), "experiment".into(), "12.5".into()]);
+        let page = render_html_page_with_timings("EdgeScope", &[r.clone()], &[t]);
+        assert!(page.contains("<a href=\"#timings\">timings</a>"));
+        assert!(page.contains("<section id=\"timings\">"));
+        assert!(page.contains("<td>fig2a</td>"));
+        let plain = render_html_page("EdgeScope", &[r]);
+        assert!(!plain.contains("#timings"), "no timings section without tables");
     }
 
     #[test]

@@ -10,6 +10,32 @@
 //! * [`Scale::Default`] — a reduction (≈150 sites, 100 users, 28-day
 //!   compact traces) that preserves every statistic the paper reports.
 //! * [`Scale::Quick`] — CI-sized.
+//!
+//! # Determinism contract
+//!
+//! Identical `(scale, seed)` inputs build identical worlds, and every
+//! experiment's output is a pure function of the scenario. The key
+//! mechanism is [`Scenario::rng`]: each experiment derives its own
+//! `StdRng` from the world seed XOR-mixed with a per-experiment **tag**
+//! (`seed ^ tag · φ`, with φ the 64-bit golden-ratio constant), so no
+//! experiment ever advances another experiment's RNG stream.
+//!
+//! Tag allocation rules:
+//!
+//! * every experiment (and every shared study) owns a distinct tag,
+//!   hard-coded at its call site — e.g. the latency campaign uses
+//!   `0x1a7e`; never reuse a tag across experiments;
+//! * scenario *construction* consumes the raw seed directly (site
+//!   placement, crowd recruitment) and happens before any experiment;
+//! * an experiment needing several independent streams should derive
+//!   them all from its own tag space (distinct constants), not by
+//!   sharing a `StdRng` across logical stages.
+//!
+//! Because experiments share no mutable state and never observe each
+//! other's RNG position, they are order-independent — which is what lets
+//! [`crate::executor::Executor`] run them on parallel worker threads and
+//! still produce byte-identical reports for any `--jobs` value
+//! (asserted by `tests/determinism.rs`).
 
 use edgescope_net::path::PathModel;
 use edgescope_net::tcp::ThroughputModel;
@@ -171,7 +197,8 @@ impl Scenario {
 
     /// A fresh RNG derived from the scenario seed and a per-experiment
     /// tag, so experiments are independent of each other's execution
-    /// order.
+    /// order (and thus safe to run on parallel workers — see the module
+    /// docs for the tag allocation rules).
     pub fn rng(&self, tag: u64) -> StdRng {
         StdRng::seed_from_u64(self.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
@@ -186,7 +213,17 @@ mod tests {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("Default"), Some(Scale::Default));
         assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("QuIcK"), Some(Scale::Quick));
         assert_eq!(Scale::parse("gigantic"), None);
+    }
+
+    #[test]
+    fn scale_parse_rejects_junk_cleanly() {
+        // The reproduce binary falls back to Scale::Default on None, so
+        // parse must return None (not panic) for anything unexpected.
+        for junk in ["", " ", "quick ", " paper", "default\n", "2", "-1", "qu1ck", "paper,quick"] {
+            assert_eq!(Scale::parse(junk), None, "{junk:?} must not parse");
+        }
     }
 
     #[test]

@@ -1,8 +1,49 @@
 //! Reproducibility: identical seeds produce identical results across the
 //! whole pipeline — the property that makes EXPERIMENTS.md checkable.
 
-use edgescope::experiments::run_all;
+use edgescope::executor::Executor;
+use edgescope::experiments::{registry, run_all};
 use edgescope::{Scale, Scenario};
+
+#[test]
+fn parallel_execution_matches_serial_byte_for_byte() {
+    // The gate for the parallel executor: for the same seed, `--jobs N`
+    // must produce byte-identical report renders and CSV series to
+    // `--jobs 1`, in the same (registry) order.
+    let scenario = Scenario::new(Scale::Quick, 42);
+    let serial = Executor::new(1).run(&scenario, registry());
+    let parallel = Executor::new(4).run(&scenario, registry());
+
+    let ids = |e: &edgescope::Execution| e.reports.iter().map(|r| r.id).collect::<Vec<_>>();
+    assert_eq!(ids(&serial), ids(&parallel), "registry order must be preserved");
+
+    let renders =
+        |e: &edgescope::Execution| e.reports.iter().map(|r| r.render()).collect::<Vec<_>>();
+    assert_eq!(renders(&serial), renders(&parallel), "renders must be byte-identical");
+
+    let htmls =
+        |e: &edgescope::Execution| e.reports.iter().map(|r| r.render_html()).collect::<Vec<_>>();
+    assert_eq!(htmls(&serial), htmls(&parallel), "HTML must be byte-identical");
+
+    let csvs = |e: &edgescope::Execution| {
+        e.reports.iter().flat_map(|r| r.csv.iter().cloned()).collect::<Vec<_>>()
+    };
+    assert_eq!(csvs(&serial), csvs(&parallel), "CSV series must be byte-identical");
+
+    // Timings are wall-clock (not comparable across runs), but the shape
+    // is: one row per experiment, in registry order.
+    for e in [&serial, &parallel] {
+        let timed: Vec<&str> = e.timings.experiments.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(timed, ids(e), "one timing row per experiment");
+        assert_eq!(
+            e.timings.to_csv().lines().count(),
+            1 + e.timings.stages.len() + e.reports.len() + 1,
+            "timings.csv: header + stages + experiments + total"
+        );
+    }
+    assert_eq!(serial.timings.jobs, 1);
+    assert_eq!(parallel.timings.jobs, 4);
+}
 
 #[test]
 fn same_seed_same_reports() {
