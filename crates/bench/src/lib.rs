@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # edgescope-bench
 //!
 //! Criterion benchmarks that regenerate every table and figure of the

@@ -2,30 +2,41 @@
 //!
 //! ```text
 //! EDGESCOPE_SCALE=quick|default|paper EDGESCOPE_SEED=42 EDGESCOPE_JOBS=N \
+//!     EDGESCOPE_LOG=off|pretty|json \
 //!     cargo run --release -p edgescope-core --bin reproduce -- \
-//!     [--jobs N] [--only fig2a,table3,...] [results_dir]
+//!     [--jobs N] [--only fig2a,table3,...] [--log off|pretty|json] [results_dir]
 //! ```
 //!
 //! Prints every selected experiment's tables to stdout and writes under
 //! `results_dir` (default `results/`): the CSV series, a browsable
-//! `index.html` with a timing summary, and `timings.csv`
+//! `index.html` with timing and metrics summaries, `timings.csv`
 //! (`name,kind,wall_ms`; one `stage` row per shared study build, one
-//! `experiment` row per experiment, one `total` row).
+//! `experiment` row per experiment, one `total` row), and
+//! `metrics.json` (deterministic per-scope campaign metrics, schema
+//! `edgescope-metrics/1`; totals identical across worker counts).
 //!
 //! `--jobs` (or `EDGESCOPE_JOBS`) sets the worker-thread count, default
 //! = available parallelism; invalid values fall back to the default.
 //! Reports are byte-identical across worker counts for the same seed.
 //! `--only` filters the registry by experiment name; unknown names abort
 //! with the list of valid names.
+//! `--log` (or `EDGESCOPE_LOG`) selects span logging on stderr:
+//! `off` (default, stderr carries only the binary's status lines),
+//! `pretty` (one human-readable line per event), or `json` (every
+//! stderr line — executor events *and* status lines — is one JSON
+//! object, so `jq` can consume the whole stream). Stdout renders are
+//! byte-identical in every mode.
 
 use edgescope_core::executor::{parse_jobs, resolve_jobs, Executor};
 use edgescope_core::experiments::{registry, select_experiments};
-use edgescope_core::report::render_html_page_with_timings;
+use edgescope_core::report::render_html_page_full;
 use edgescope_core::scenario::{Scale, Scenario};
+use edgescope_obs::log::{resolve_log, Emitter, LogFormat};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: reproduce [--jobs N] [--only name1,name2,...] [results_dir]";
+const USAGE: &str =
+    "usage: reproduce [--jobs N] [--only name1,name2,...] [--log off|pretty|json] [results_dir]";
 
 fn main() -> ExitCode {
     let scale = std::env::var("EDGESCOPE_SCALE")
@@ -39,6 +50,7 @@ fn main() -> ExitCode {
 
     let mut jobs_arg: Option<String> = None;
     let mut only_arg: Option<String> = None;
+    let mut log_arg: Option<String> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,6 +62,10 @@ fn main() -> ExitCode {
             only_arg = Some(v.to_string());
         } else if a == "--only" {
             only_arg = args.next();
+        } else if let Some(v) = a.strip_prefix("--log=") {
+            log_arg = Some(v.to_string());
+        } else if a == "--log" {
+            log_arg = args.next();
         } else if a == "--help" || a == "-h" {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -65,9 +81,24 @@ fn main() -> ExitCode {
     }
     let out_dir = out_dir.unwrap_or_else(|| "results".into());
 
+    let log = resolve_log(log_arg.as_deref(), std::env::var("EDGESCOPE_LOG").ok().as_deref());
+    // All of the binary's own status lines route through the emitter so
+    // that in json mode every stderr line is a parseable object.
+    let emitter = Emitter::new(log);
+    let say = |msg: &str| emitter.status("reproduce", msg, true);
+
+    if let Some(l) = log_arg.as_deref() {
+        if LogFormat::parse(l).is_none() {
+            say(&format!(
+                "warning: invalid --log value {l:?}; falling back to EDGESCOPE_LOG/off"
+            ));
+        }
+    }
     if let Some(j) = jobs_arg.as_deref() {
         if parse_jobs(j).is_none() {
-            eprintln!("warning: invalid --jobs value {j:?}; falling back to EDGESCOPE_JOBS/default");
+            say(&format!(
+                "warning: invalid --jobs value {j:?}; falling back to EDGESCOPE_JOBS/default"
+            ));
         }
     }
     let jobs = resolve_jobs(jobs_arg.as_deref(), std::env::var("EDGESCOPE_JOBS").ok().as_deref());
@@ -77,57 +108,62 @@ fn main() -> ExitCode {
         Some(only) => match select_experiments(registry(), only) {
             Ok(specs) => specs,
             Err(e) => {
-                eprintln!("error: {e}");
+                say(&format!("error: {e}"));
                 return ExitCode::from(2);
             }
         },
     };
 
-    eprintln!(
+    say(&format!(
         "edgescope reproduce: scale {scale:?}, seed {seed}, {} experiment(s), {jobs} job(s), output {out_dir:?}",
         specs.len()
-    );
+    ));
     let scenario = Scenario::new(scale, seed);
-    let execution = Executor::new(jobs).run(&scenario, specs);
+    let execution = Executor::new(jobs).with_log(log).run(&scenario, specs);
     for r in &execution.reports {
         println!("{}", r.render());
         match r.save_csv(&out_dir) {
             Ok(files) => {
                 if !files.is_empty() {
-                    eprintln!("[{}] wrote {} csv files", r.id, files.len());
+                    say(&format!("[{}] wrote {} csv files", r.id, files.len()));
                 }
             }
-            Err(e) => eprintln!("[{}] csv write failed: {e}", r.id),
+            Err(e) => say(&format!("[{}] csv write failed: {e}", r.id)),
         }
     }
 
     let timings = &execution.timings;
-    let html = render_html_page_with_timings(
+    let metrics = &execution.metrics;
+    let metric_tables = if metrics.is_empty() { vec![] } else { vec![metrics.summary_table()] };
+    let html = render_html_page_full(
         "EdgeScope reproduction",
         &execution.reports,
         &[timings.summary_table()],
+        &metric_tables,
     );
     match std::fs::create_dir_all(&out_dir)
         .and_then(|_| std::fs::write(out_dir.join("index.html"), html))
         .and_then(|_| std::fs::write(out_dir.join("timings.csv"), timings.to_csv()))
+        .and_then(|_| std::fs::write(out_dir.join("metrics.json"), metrics.to_json()))
     {
-        Ok(()) => eprintln!(
-            "wrote {} and {}",
+        Ok(()) => say(&format!(
+            "wrote {}, {} and {}",
             out_dir.join("index.html").display(),
-            out_dir.join("timings.csv").display()
-        ),
-        Err(e) => eprintln!("results write failed: {e}"),
+            out_dir.join("timings.csv").display(),
+            out_dir.join("metrics.json").display()
+        )),
+        Err(e) => say(&format!("results write failed: {e}")),
     }
 
     match timings.peak() {
-        Some(peak) => eprintln!(
+        Some(peak) => say(&format!(
             "done: {} experiments in {:.1}s on {jobs} job(s) (slowest: {} at {:.1}ms)",
             execution.reports.len(),
             timings.total_ms / 1e3,
             peak.name,
             peak.wall_ms
-        ),
-        None => eprintln!("done: 0 experiments in {:.1}s", timings.total_ms / 1e3),
+        )),
+        None => say(&format!("done: 0 experiments in {:.1}s", timings.total_ms / 1e3)),
     }
     ExitCode::SUCCESS
 }

@@ -1,4 +1,5 @@
-//! Parallel experiment execution with per-experiment timing.
+//! Parallel experiment execution with per-experiment timing, metrics,
+//! and span logging.
 //!
 //! The [`Executor`] fans the runners of an experiment registry (see
 //! [`crate::experiments::registry`]) out over `crossbeam` scoped worker
@@ -12,12 +13,32 @@
 //! one entry per shared study build ("stage") and one per experiment,
 //! exported as `results/timings.csv` by the `reproduce` binary and as a
 //! summary table on the HTML page.
+//!
+//! It also snapshots the deterministic `edgescope-obs` metrics: each
+//! study build and each experiment runs inside its own
+//! [`obs::scoped`] metric scope on its worker thread, so the counters a
+//! runner's substrate calls increment (probes sent, placements made,
+//! VMs generated, …) are attributed exactly to it. The per-scope sets
+//! plus their fold are the [`CampaignMetrics`] on the returned
+//! [`Execution`], written as `results/metrics.json` and a "Campaign
+//! metrics" HTML section by the binary. Metric totals are identical
+//! across worker counts by construction (scopes are per-experiment and
+//! merged in registry order), and collection draws no randomness, so
+//! renders stay byte-identical.
+//!
+//! Span-style logging uses [`Emitter`]: a `campaign.start`/`close` pair
+//! around the run, a `study.start`/`close` pair per shared study, and an
+//! `experiment.start`/`close` pair per experiment — on stderr, format
+//! chosen by [`Executor::with_log`] (default off).
 
 use crate::experiments::{latency_study::LatencyStudy, workload_study::WorkloadStudy};
 use crate::experiments::{ExperimentSpec, Studies};
 use crate::report::ExperimentReport;
 use crate::scenario::Scenario;
 use edgescope_analysis::table::Table;
+use edgescope_obs as obs;
+use edgescope_obs::log::{json_escape, Emitter, Field, LogFormat};
+use edgescope_obs::{MetricRow, MetricSet};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -88,8 +109,131 @@ impl Timings {
     }
 }
 
+/// The metrics one scope (a shared study build or one experiment)
+/// recorded on its worker thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeMetrics {
+    /// Scope name: an experiment name, or `study:latency` /
+    /// `study:workload`.
+    pub name: String,
+    /// `"stage"` for study builds, `"experiment"` for experiments —
+    /// matching the `kind` column of `timings.csv`.
+    pub kind: &'static str,
+    /// Everything recorded while the scope ran.
+    pub set: MetricSet,
+}
+
+/// All metric scopes of one campaign, in deterministic order (stages in
+/// build order, then experiments in registry order). Totals and JSON
+/// are derived, never stored, so the struct has exactly one source of
+/// truth and `--jobs 1` vs `--jobs 4` produce identical output
+/// (deliberately, the worker count appears nowhere in the JSON).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignMetrics {
+    /// Per-scope metric sets.
+    pub scopes: Vec<ScopeMetrics>,
+}
+
+impl CampaignMetrics {
+    /// Fold every scope's set into campaign totals.
+    pub fn totals(&self) -> MetricSet {
+        let mut total = MetricSet::new();
+        for s in &self.scopes {
+            total.merge(&s.set);
+        }
+        total
+    }
+
+    /// True when no scope recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.scopes.iter().all(|s| s.set.is_empty())
+    }
+
+    /// Serialize as the `results/metrics.json` document:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "edgescope-metrics/1",
+    ///   "scopes": [
+    ///     {"scope": "study:latency", "kind": "stage",
+    ///      "metrics": [{"name": "net.probes_sent", "kind": "counter", "value": 5040}]}
+    ///   ],
+    ///   "totals": [{"name": "net.probes_sent", "kind": "counter", "value": 5040}]
+    /// }
+    /// ```
+    ///
+    /// Histogram components appear as `name[le=B]` / `name[count]` /
+    /// `name[sum]` rows of kind `histogram`. Output is byte-stable for
+    /// a given scenario regardless of worker count.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"edgescope-metrics/1\",\n  \"scopes\": [");
+        for (i, s) in self.scopes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"scope\": ");
+            out.push_str(&json_escape(&s.name));
+            out.push_str(", \"kind\": ");
+            out.push_str(&json_escape(s.kind));
+            out.push_str(", \"metrics\": [");
+            let rows = s.set.rows();
+            for (j, r) in rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      ");
+                out.push_str(&row_json(r));
+            }
+            if !rows.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]}");
+        }
+        if !self.scopes.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"totals\": [");
+        let totals = self.totals().rows();
+        for (j, r) in totals.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&row_json(r));
+        }
+        if !totals.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Campaign totals as a renderable [`Table`] — the "Campaign
+    /// metrics" section of the HTML page (per-scope breakdowns live in
+    /// `metrics.json` only; the page shows the fold).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(
+            "Campaign metrics (totals across studies and experiments)".to_string(),
+            &["name", "kind", "value"],
+        );
+        for r in self.totals().rows() {
+            t.row(vec![r.name, r.kind.into(), r.value.to_string()]);
+        }
+        t
+    }
+}
+
+fn row_json(r: &MetricRow) -> String {
+    format!(
+        "{{\"name\": {}, \"kind\": {}, \"value\": {}}}",
+        json_escape(&r.name),
+        json_escape(r.kind),
+        r.value.to_json()
+    )
+}
+
 /// The outcome of one [`Executor::run`] campaign: reports in registry
-/// order plus the recorded [`Timings`].
+/// order plus the recorded [`Timings`] and [`CampaignMetrics`].
 #[derive(Debug, Clone)]
 pub struct Execution {
     /// One report per executed experiment, in registry order — identical
@@ -97,6 +241,8 @@ pub struct Execution {
     pub reports: Vec<ExperimentReport>,
     /// Per-stage and per-experiment wall-clock.
     pub timings: Timings,
+    /// Per-stage and per-experiment deterministic metrics.
+    pub metrics: CampaignMetrics,
 }
 
 /// Runs a set of [`ExperimentSpec`]s over a pool of scoped worker
@@ -104,12 +250,14 @@ pub struct Execution {
 #[derive(Debug, Clone, Copy)]
 pub struct Executor {
     jobs: usize,
+    log: LogFormat,
 }
 
 impl Executor {
-    /// An executor with `jobs` worker threads (clamped to at least 1).
+    /// An executor with `jobs` worker threads (clamped to at least 1)
+    /// and logging off.
     pub fn new(jobs: usize) -> Self {
-        Executor { jobs: jobs.max(1) }
+        Executor { jobs: jobs.max(1), log: LogFormat::Off }
     }
 
     /// A single-threaded executor — equivalent to the historical serial
@@ -124,53 +272,130 @@ impl Executor {
         Executor::new(resolve_jobs(None, std::env::var("EDGESCOPE_JOBS").ok().as_deref()))
     }
 
+    /// The same executor with span logging in the given format
+    /// (stderr-only; stdout renders are unaffected).
+    pub fn with_log(mut self, log: LogFormat) -> Self {
+        self.log = log;
+        self
+    }
+
     /// The worker-thread count.
     pub fn jobs(&self) -> usize {
         self.jobs
     }
 
+    /// The configured log format.
+    pub fn log_format(&self) -> LogFormat {
+        self.log
+    }
+
     /// Run every spec against `scenario` and collect reports in spec
     /// order. Shared studies are built first (concurrently with each
     /// other when both are needed and `jobs > 1`), then the experiment
-    /// runners fan out over the worker pool.
+    /// runners fan out over the worker pool. Every study build and
+    /// experiment runs inside its own metric scope; see
+    /// [`CampaignMetrics`].
     pub fn run(&self, scenario: &Scenario, specs: Vec<ExperimentSpec>) -> Execution {
         let t0 = Instant::now();
+        let emitter = Emitter::new(self.log);
         let need_latency = specs.iter().any(|s| s.needs.latency);
         let need_workload = specs.iter().any(|s| s.needs.workload);
+        emitter.event(
+            "executor",
+            "campaign.start",
+            &[
+                ("jobs", Field::U64(self.jobs as u64)),
+                ("experiments", Field::U64(specs.len() as u64)),
+                ("seed", Field::U64(scenario.seed)),
+            ],
+        );
 
         let mut stages = Vec::new();
+        let mut stage_metrics: Vec<ScopeMetrics> = Vec::new();
         let mut studies = Studies::none();
         if need_latency && need_workload && self.jobs > 1 {
-            let mut latency_built: Option<(LatencyStudy, f64)> = None;
-            let mut workload_built: Option<(WorkloadStudy, f64)> = None;
+            let mut latency_built: Option<(LatencyStudy, f64, MetricSet)> = None;
+            let mut workload_built: Option<(WorkloadStudy, f64, MetricSet)> = None;
             crossbeam::thread::scope(|sc| {
                 let handle = sc.spawn(|_| {
+                    emitter.event("executor", "study.start", &[("study", Field::Str("latency"))]);
                     let t = Instant::now();
-                    let study = LatencyStudy::run(scenario);
-                    (study, elapsed_ms(t))
+                    let (study, set) = obs::scoped(|| LatencyStudy::run(scenario));
+                    let ms = elapsed_ms(t);
+                    emitter.event(
+                        "executor",
+                        "study.close",
+                        &[("study", Field::Str("latency")), ("wall_ms", Field::F64(ms))],
+                    );
+                    (study, ms, set)
                 });
+                emitter.event("executor", "study.start", &[("study", Field::Str("workload"))]);
                 let t = Instant::now();
-                let workload = WorkloadStudy::run(scenario);
-                workload_built = Some((workload, elapsed_ms(t)));
+                let (workload, set) = obs::scoped(|| WorkloadStudy::run(scenario));
+                let ms = elapsed_ms(t);
+                emitter.event(
+                    "executor",
+                    "study.close",
+                    &[("study", Field::Str("workload")), ("wall_ms", Field::F64(ms))],
+                );
+                workload_built = Some((workload, ms, set));
                 latency_built = Some(handle.join().expect("latency study panicked"));
             })
             .expect("study worker panicked");
-            let (latency, latency_ms) = latency_built.expect("latency study not built");
-            let (workload, workload_ms) = workload_built.expect("workload study not built");
+            let (latency, latency_ms, latency_set) =
+                latency_built.expect("latency study not built");
+            let (workload, workload_ms, workload_set) =
+                workload_built.expect("workload study not built");
             stages.push(TimedEntry { name: "study:latency".into(), wall_ms: latency_ms });
             stages.push(TimedEntry { name: "study:workload".into(), wall_ms: workload_ms });
+            stage_metrics.push(ScopeMetrics {
+                name: "study:latency".into(),
+                kind: "stage",
+                set: latency_set,
+            });
+            stage_metrics.push(ScopeMetrics {
+                name: "study:workload".into(),
+                kind: "stage",
+                set: workload_set,
+            });
             studies.latency = Some(latency);
             studies.workload = Some(workload);
         } else {
             if need_latency {
+                emitter.event("executor", "study.start", &[("study", Field::Str("latency"))]);
                 let t = Instant::now();
-                studies.latency = Some(LatencyStudy::run(scenario));
-                stages.push(TimedEntry { name: "study:latency".into(), wall_ms: elapsed_ms(t) });
+                let (study, set) = obs::scoped(|| LatencyStudy::run(scenario));
+                let ms = elapsed_ms(t);
+                emitter.event(
+                    "executor",
+                    "study.close",
+                    &[("study", Field::Str("latency")), ("wall_ms", Field::F64(ms))],
+                );
+                studies.latency = Some(study);
+                stages.push(TimedEntry { name: "study:latency".into(), wall_ms: ms });
+                stage_metrics.push(ScopeMetrics {
+                    name: "study:latency".into(),
+                    kind: "stage",
+                    set,
+                });
             }
             if need_workload {
+                emitter.event("executor", "study.start", &[("study", Field::Str("workload"))]);
                 let t = Instant::now();
-                studies.workload = Some(WorkloadStudy::run(scenario));
-                stages.push(TimedEntry { name: "study:workload".into(), wall_ms: elapsed_ms(t) });
+                let (study, set) = obs::scoped(|| WorkloadStudy::run(scenario));
+                let ms = elapsed_ms(t);
+                emitter.event(
+                    "executor",
+                    "study.close",
+                    &[("study", Field::Str("workload")), ("wall_ms", Field::F64(ms))],
+                );
+                studies.workload = Some(study);
+                stages.push(TimedEntry { name: "study:workload".into(), wall_ms: ms });
+                stage_metrics.push(ScopeMetrics {
+                    name: "study:workload".into(),
+                    kind: "stage",
+                    set,
+                });
             }
         }
 
@@ -178,18 +403,35 @@ impl Executor {
         let workers = self.jobs.min(n.max(1));
         let mut reports = Vec::with_capacity(n);
         let mut experiments = Vec::with_capacity(n);
+        let mut experiment_metrics: Vec<ScopeMetrics> = Vec::with_capacity(n);
         if workers <= 1 {
             for spec in &specs {
-                let t = Instant::now();
-                let report = spec.run(scenario, &studies);
-                experiments.push(TimedEntry { name: spec.name.to_string(), wall_ms: elapsed_ms(t) });
+                emitter.event("executor", "experiment.start", &[("name", Field::Str(spec.name))]);
+                let ((report, wall_ms), set) = obs::scoped(|| {
+                    let t = Instant::now();
+                    let report = spec.run(scenario, &studies);
+                    (report, elapsed_ms(t))
+                });
+                emitter.event(
+                    "executor",
+                    "experiment.close",
+                    &[("name", Field::Str(spec.name)), ("wall_ms", Field::F64(wall_ms))],
+                );
+                experiments.push(TimedEntry { name: spec.name.to_string(), wall_ms });
+                experiment_metrics.push(ScopeMetrics {
+                    name: spec.name.to_string(),
+                    kind: "experiment",
+                    set,
+                });
                 reports.push(report);
             }
         } else {
             // A shared atomic cursor hands out registry indices; each
             // worker writes into its slot, so collection order is the
-            // registry order regardless of completion order.
-            let slots: Vec<Mutex<Option<(ExperimentReport, f64)>>> =
+            // registry order regardless of completion order. Each
+            // experiment runs entirely on one worker thread, so its
+            // thread-local metric scope captures exactly its increments.
+            let slots: Vec<Mutex<Option<(ExperimentReport, f64, MetricSet)>>> =
                 (0..n).map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
             let specs_ref = &specs;
@@ -203,23 +445,43 @@ impl Executor {
                         if i >= n {
                             break;
                         }
-                        let t = Instant::now();
-                        let report = specs_ref[i].run(scenario, studies_ref);
-                        *slots_ref[i].lock() = Some((report, elapsed_ms(t)));
+                        let name = specs_ref[i].name;
+                        emitter.event("executor", "experiment.start", &[("name", Field::Str(name))]);
+                        let ((report, wall_ms), set) = obs::scoped(|| {
+                            let t = Instant::now();
+                            let report = specs_ref[i].run(scenario, studies_ref);
+                            (report, elapsed_ms(t))
+                        });
+                        emitter.event(
+                            "executor",
+                            "experiment.close",
+                            &[("name", Field::Str(name)), ("wall_ms", Field::F64(wall_ms))],
+                        );
+                        *slots_ref[i].lock() = Some((report, wall_ms, set));
                     });
                 }
             })
             .expect("experiment worker panicked");
             for (spec, slot) in specs.iter().zip(slots) {
-                let (report, wall_ms) = slot.into_inner().expect("experiment never ran");
+                let (report, wall_ms, set) = slot.into_inner().expect("experiment never ran");
                 experiments.push(TimedEntry { name: spec.name.to_string(), wall_ms });
+                experiment_metrics.push(ScopeMetrics {
+                    name: spec.name.to_string(),
+                    kind: "experiment",
+                    set,
+                });
                 reports.push(report);
             }
         }
 
+        let total_ms = elapsed_ms(t0);
+        emitter.event("executor", "campaign.close", &[("wall_ms", Field::F64(total_ms))]);
+        let mut scopes = stage_metrics;
+        scopes.extend(experiment_metrics);
         Execution {
             reports,
-            timings: Timings { jobs: self.jobs, stages, experiments, total_ms: elapsed_ms(t0) },
+            timings: Timings { jobs: self.jobs, stages, experiments, total_ms },
+            metrics: CampaignMetrics { scopes },
         }
     }
 }
@@ -293,6 +555,13 @@ mod tests {
     }
 
     #[test]
+    fn log_format_defaults_off_and_is_configurable() {
+        assert_eq!(Executor::new(2).log_format(), LogFormat::Off);
+        assert_eq!(Executor::new(2).with_log(LogFormat::Json).log_format(), LogFormat::Json);
+        assert_eq!(Executor::new(2).with_log(LogFormat::Json).jobs(), 2);
+    }
+
+    #[test]
     fn parallel_preserves_spec_order_and_times_everything() {
         let specs = vec![
             tiny_spec("e1"),
@@ -310,6 +579,10 @@ mod tests {
         assert!(exec.timings.stages.is_empty(), "no study needed by tiny specs");
         assert!(exec.timings.experiments.iter().all(|e| e.wall_ms >= 0.0));
         assert!(exec.timings.peak().is_some());
+        // Tiny specs touch no instrumented substrate: scopes exist (one
+        // per experiment) but record nothing.
+        assert_eq!(exec.metrics.scopes.len(), 6);
+        assert!(exec.metrics.is_empty());
     }
 
     #[test]
@@ -337,5 +610,38 @@ mod tests {
         assert_eq!(stage_names, ["study:latency"], "only the needed study is built");
         assert_eq!(exec.reports.len(), 1);
         assert_eq!(exec.reports[0].id, "fig3");
+    }
+
+    #[test]
+    fn metrics_attributed_per_scope() {
+        let specs = select_experiments(registry(), "fig3").expect("fig3 exists");
+        let scenario = Scenario::new(Scale::Quick, 7);
+        let exec = Executor::serial().run(&scenario, specs);
+        let scope_names: Vec<&str> =
+            exec.metrics.scopes.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(scope_names, ["study:latency", "fig3"]);
+        assert_eq!(exec.metrics.scopes[0].kind, "stage");
+        assert_eq!(exec.metrics.scopes[1].kind, "experiment");
+        // The probing happens in the shared study, not the aggregation.
+        assert!(exec.metrics.scopes[0].set.counter("net.probes_sent") > 0);
+        let totals = exec.metrics.totals();
+        assert!(totals.counter("net.probes_sent") > 0);
+        assert!(totals.counter("probe.ping_targets_measured") > 0);
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let specs = select_experiments(registry(), "fig3").expect("fig3 exists");
+        let scenario = Scenario::new(Scale::Quick, 7);
+        let exec = Executor::serial().run(&scenario, specs);
+        let json = exec.metrics.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"edgescope-metrics/1\""));
+        assert!(json.contains("\"scope\": \"study:latency\""));
+        assert!(json.contains("\"name\": \"net.probes_sent\""));
+        assert!(json.contains("\"totals\": ["));
+        assert!(!json.contains("jobs"), "worker count must not leak into metrics.json");
+        let table = exec.metrics.summary_table();
+        assert!(table.n_rows() > 0);
     }
 }

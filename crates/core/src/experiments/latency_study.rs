@@ -19,7 +19,10 @@ impl LatencyStudy {
             &scenario.path_model,
             &scenario.nep,
             &scenario.alicloud,
-            &LatencyConfig { pings_per_target: scenario.sizing.pings_per_target },
+            &LatencyConfig {
+                pings_per_target: scenario.sizing.pings_per_target,
+                ..LatencyConfig::default()
+            },
         );
         LatencyStudy { campaign }
     }

@@ -12,23 +12,28 @@
 //!   for re-plotting;
 //! * [`executor`] — the parallel campaign driver: fans the experiment
 //!   [`experiments::registry`] out over worker threads (`--jobs` /
-//!   `EDGESCOPE_JOBS`) and records per-experiment wall-clock timings;
+//!   `EDGESCOPE_JOBS`), records per-experiment wall-clock timings and
+//!   deterministic per-experiment metric scopes
+//!   ([`executor::CampaignMetrics`]), and emits span-style start/close
+//!   events on stderr (`--log pretty|json|off` / `EDGESCOPE_LOG`,
+//!   default off);
 //! * [`experiments`] — `table1`, `fig2`, `table2`, `fig3`, `fig4`, `fig5`,
 //!   `fig6`, `fig7`, `table6`, `fig8`, `fig9`, `sales_rate`, `fig10`,
 //!   `fig11`, `fig12`, `fig13`, `fig14`, `table3` — each regenerates its
 //!   artefact and returns an [`report::ExperimentReport`].
 //!
 //! The `reproduce` binary runs everything (in parallel with `--jobs N`,
-//! filtered with `--only fig2a,table3`) and writes `results/`, including
-//! per-experiment `timings.csv` — see `EXPERIMENTS.md` at the workspace
-//! root for paper-vs-measured values.
+//! filtered with `--only fig2a,table3`, logged with `--log json`) and
+//! writes `results/`, including per-experiment `timings.csv` and
+//! `metrics.json` — see `EXPERIMENTS.md` at the workspace root for
+//! paper-vs-measured values and `ARCHITECTURE.md` for the crate map.
 
 pub mod executor;
 pub mod experiments;
 pub mod report;
 pub mod scenario;
 
-pub use executor::{Execution, Executor, Timings};
+pub use executor::{CampaignMetrics, Execution, Executor, ScopeMetrics, Timings};
 pub use report::ExperimentReport;
 pub use scenario::{Scale, Scenario};
 
@@ -37,6 +42,7 @@ pub use scenario::{Scale, Scenario};
 pub use edgescope_analysis as analysis;
 pub use edgescope_billing as billing;
 pub use edgescope_net as net;
+pub use edgescope_obs as obs;
 pub use edgescope_platform as platform;
 pub use edgescope_predict as predict;
 pub use edgescope_probe as probe;

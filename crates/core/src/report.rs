@@ -130,6 +130,19 @@ pub fn render_html_page_with_timings(
     reports: &[ExperimentReport],
     timings: &[Table],
 ) -> String {
+    render_html_page_full(title, reports, timings, &[])
+}
+
+/// The full page renderer: experiment sections, then an "Execution
+/// timings" section (when `timings` is non-empty), then a "Campaign
+/// metrics" section (when `metrics` is non-empty — the binary passes
+/// [`crate::executor::CampaignMetrics::summary_table`] here).
+pub fn render_html_page_full(
+    title: &str,
+    reports: &[ExperimentReport],
+    timings: &[Table],
+    metrics: &[Table],
+) -> String {
     let mut out = String::from("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
     out.push_str(&format!("<title>{title}</title>\n"));
     out.push_str(
@@ -147,6 +160,9 @@ pub fn render_html_page_with_timings(
     if !timings.is_empty() {
         out.push_str("<a href=\"#timings\">timings</a>");
     }
+    if !metrics.is_empty() {
+        out.push_str("<a href=\"#metrics\">metrics</a>");
+    }
     out.push_str("</nav>\n");
     for r in reports {
         out.push_str(&r.render_html());
@@ -154,6 +170,13 @@ pub fn render_html_page_with_timings(
     if !timings.is_empty() {
         out.push_str("<section id=\"timings\">\n<h2>Execution timings</h2>\n");
         for t in timings {
+            html_table(t, &mut out);
+        }
+        out.push_str("</section>\n");
+    }
+    if !metrics.is_empty() {
+        out.push_str("<section id=\"metrics\">\n<h2>Campaign metrics</h2>\n");
+        for t in metrics {
             html_table(t, &mut out);
         }
         out.push_str("</section>\n");
@@ -243,6 +266,20 @@ mod tests {
         assert!(page.contains("<td>fig2a</td>"));
         let plain = render_html_page("EdgeScope", &[r]);
         assert!(!plain.contains("#timings"), "no timings section without tables");
+    }
+
+    #[test]
+    fn metrics_section_appended_when_present() {
+        let r = ExperimentReport::new("figV", "demo");
+        let mut m = Table::new("Campaign metrics (totals)", &["name", "kind", "value"]);
+        m.row(vec!["net.probes_sent".into(), "counter".into(), "5040".into()]);
+        let page = render_html_page_full("EdgeScope", &[r.clone()], &[], &[m]);
+        assert!(page.contains("<a href=\"#metrics\">metrics</a>"));
+        assert!(page.contains("<section id=\"metrics\">"));
+        assert!(page.contains("<h2>Campaign metrics</h2>"));
+        assert!(page.contains("<td>net.probes_sent</td>"));
+        let plain = render_html_page_full("EdgeScope", &[r], &[], &[]);
+        assert!(!plain.contains("#metrics"), "no metrics section without tables");
     }
 
     #[test]

@@ -35,6 +35,14 @@
 //!
 //! All stochastic APIs take `&mut impl Rng`; seeding is the caller's
 //! responsibility and identical seeds give identical results.
+//!
+//! ## Observability
+//! The hot paths report to `edgescope-obs` scoped metrics when a scope
+//! is active (counters `net.probes_sent`, `net.probes_lost_path`,
+//! `net.probes_dropped_fault`, `net.iperf_runs`, `net.traceroute_runs`
+//! and the `net.rtt_ms` histogram); the instrumentation draws no
+//! randomness and is a no-op outside a scope, so it never perturbs
+//! results.
 
 pub mod access;
 pub mod fault;

@@ -9,7 +9,13 @@
 
 use crate::fault::FaultInjector;
 use crate::path::Path;
+use edgescope_obs as obs;
 use rand::Rng;
+
+/// RTT histogram bucket bounds (ms) for the `net.rtt_ms` metric —
+/// chosen around the paper's edge (<10 ms), same-province cloud
+/// (~30 ms) and cross-country (>100 ms) regimes.
+const RTT_BOUNDS_MS: [f64; 7] = [5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0];
 
 /// Result of one ping run (the paper's 30-probe test).
 #[derive(Debug, Clone, PartialEq)]
@@ -87,18 +93,35 @@ impl PingEngine {
     }
 
     /// Run `n` echo probes along `path`.
+    ///
+    /// Metrics (no-ops outside an [`obs::scoped`] scope, and never
+    /// drawing from `rng`): `net.probes_sent`, `net.probes_lost_path`,
+    /// `net.probes_dropped_fault` counters and the `net.rtt_ms`
+    /// histogram over returned probes.
     pub fn probe(&self, rng: &mut impl Rng, path: &Path, n: usize) -> PingStats {
         let mut rtts = Vec::with_capacity(n);
         let mut lost = 0;
         let loss_p = path.loss_probability();
         let mean = path.mean_rtt_ms();
+        obs::counter_add("net.probes_sent", n as u64);
         for _ in 0..n {
-            if rng.gen::<f64>() < loss_p || self.fault.drops(rng) {
+            // Two explicit branches instead of `a || b` so path loss
+            // and injected drops count separately; the RNG draw order
+            // (including the short-circuit) is exactly the original's.
+            if rng.gen::<f64>() < loss_p {
                 lost += 1;
+                obs::counter_inc("net.probes_lost_path");
+                continue;
+            }
+            if self.fault.drops(rng) {
+                lost += 1;
+                obs::counter_inc("net.probes_dropped_fault");
                 continue;
             }
             let raw = path.sample_rtt_ms(rng);
-            rtts.push(self.fault.amplify_jitter(mean, raw));
+            let rtt = self.fault.amplify_jitter(mean, raw);
+            obs::observe("net.rtt_ms", rtt, &RTT_BOUNDS_MS);
+            rtts.push(rtt);
         }
         PingStats {
             rtts_ms: rtts,
@@ -174,6 +197,29 @@ mod tests {
         })
         .probe(&mut rng_b, &path, 30);
         assert!(noisy.cv().unwrap() > clean.cv().unwrap());
+    }
+
+    #[test]
+    fn probe_counters_observe_losses() {
+        let path = sample_path(11);
+        let ((clean, blackout), set) = obs::scoped(|| {
+            let mut rng = StdRng::seed_from_u64(12);
+            let clean = PingEngine::new().probe(&mut rng, &path, 20);
+            let blackout = PingEngine::with_fault(FaultInjector {
+                drop_chance: 1.0,
+                ..FaultInjector::none()
+            })
+            .probe(&mut rng, &path, 5);
+            (clean, blackout)
+        });
+        assert_eq!(set.counter("net.probes_sent"), 25);
+        assert_eq!(
+            set.counter("net.probes_lost_path") + set.counter("net.probes_dropped_fault"),
+            (clean.lost + blackout.lost) as u64
+        );
+        assert!(set.counter("net.probes_dropped_fault") > 0);
+        let h = set.histogram("net.rtt_ms").expect("returned probes recorded");
+        assert_eq!(h.count() as usize, clean.rtts_ms.len());
     }
 
     #[test]

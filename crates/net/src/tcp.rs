@@ -127,6 +127,7 @@ impl ThroughputModel {
     ) -> IperfReport {
         assert!(secs > 0, "iperf needs at least one second");
         assert!(last_mile_mbps > 0.0, "non-positive last-mile capacity");
+        edgescope_obs::counter_inc("net.iperf_runs");
         let (steady, bottleneck) = self.steady_state_mbps(path, last_mile_mbps);
         let mut per_second = Vec::with_capacity(secs);
         for s in 0..secs {

@@ -65,8 +65,10 @@ impl TracerouteReport {
     }
 }
 
-/// Run one traceroute over `path`.
+/// Run one traceroute over `path`. Increments the
+/// `net.traceroute_runs` counter when a metric scope is active.
 pub fn traceroute(rng: &mut impl Rng, path: &Path) -> TracerouteReport {
+    edgescope_obs::counter_inc("net.traceroute_runs");
     let mut cumulative = 0.0;
     let mut hops = Vec::with_capacity(path.hop_count());
     for (i, hop) in path.hops().iter().enumerate() {

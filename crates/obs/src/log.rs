@@ -1,0 +1,235 @@
+//! Span-style structured logging for the campaign, written to stderr.
+//!
+//! The executor emits start/close events around every study build and
+//! experiment; the `reproduce` binary routes its own status lines
+//! through the same [`Emitter`] so that in `json` mode *every* stderr
+//! line is one parseable JSON object (`jq` validates the whole stream).
+//! Stdout is never touched, so renders stay byte-identical in every
+//! format, and the default is [`LogFormat::Off`].
+//!
+//! ```
+//! use edgescope_obs::log::{Emitter, Field, LogFormat};
+//!
+//! assert_eq!(LogFormat::parse("JSON"), Some(LogFormat::Json));
+//! assert_eq!(LogFormat::parse("verbose"), None);
+//!
+//! // An Off emitter writes nothing.
+//! let quiet = Emitter::new(LogFormat::Off);
+//! assert!(!quiet.enabled());
+//! quiet.event("executor", "experiment.close", &[
+//!     ("name", Field::Str("fig2a")),
+//!     ("wall_ms", Field::F64(12.5)),
+//! ]);
+//! ```
+
+use std::fmt::Write as _;
+
+/// Output format for campaign logging, selected by `--log` /
+/// `EDGESCOPE_LOG` on the `reproduce` binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// No logging at all (the default).
+    #[default]
+    Off,
+    /// Human-readable one-line events: `[target] event key=value …`.
+    Pretty,
+    /// One JSON object per line, machine-parseable.
+    Json,
+}
+
+impl LogFormat {
+    /// Parse `off`/`pretty`/`json` (case-insensitive, surrounding
+    /// whitespace tolerated). Anything else is `None`.
+    pub fn parse(s: &str) -> Option<LogFormat> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" => Some(LogFormat::Off),
+            "pretty" => Some(LogFormat::Pretty),
+            "json" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// Resolve the effective format from an optional CLI value and an
+/// optional environment value, preferring the CLI. Invalid values
+/// resolve to `None` so the caller can warn and fall back.
+///
+/// ```
+/// use edgescope_obs::log::{resolve_log, LogFormat};
+/// assert_eq!(resolve_log(Some("json"), Some("pretty")), LogFormat::Json);
+/// assert_eq!(resolve_log(None, Some("pretty")), LogFormat::Pretty);
+/// assert_eq!(resolve_log(None, None), LogFormat::Off);
+/// assert_eq!(resolve_log(Some("nope"), None), LogFormat::Off);
+/// ```
+pub fn resolve_log(cli: Option<&str>, env: Option<&str>) -> LogFormat {
+    cli.and_then(LogFormat::parse)
+        .or_else(|| env.and_then(LogFormat::parse))
+        .unwrap_or(LogFormat::Off)
+}
+
+/// One typed event field value.
+#[derive(Debug, Clone, Copy)]
+pub enum Field<'a> {
+    /// A string value.
+    Str(&'a str),
+    /// An unsigned integer value.
+    U64(u64),
+    /// A real value (printed with 3 decimals in `pretty`, as a JSON
+    /// number in `json`; non-finite values become `null`).
+    F64(f64),
+}
+
+/// A cheap, copyable event writer bound to one [`LogFormat`]. All
+/// output goes to stderr, one line per event.
+#[derive(Debug, Clone, Copy)]
+pub struct Emitter {
+    format: LogFormat,
+}
+
+impl Emitter {
+    /// An emitter for the given format.
+    pub fn new(format: LogFormat) -> Self {
+        Emitter { format }
+    }
+
+    /// The format this emitter writes.
+    pub fn format(&self) -> LogFormat {
+        self.format
+    }
+
+    /// True unless the format is [`LogFormat::Off`].
+    pub fn enabled(&self) -> bool {
+        self.format != LogFormat::Off
+    }
+
+    /// Emit one event line. `target` names the subsystem (`executor`,
+    /// `reproduce`), `event` the moment (`experiment.close`), and
+    /// `fields` carries the payload in order.
+    pub fn event(&self, target: &str, event: &str, fields: &[(&str, Field<'_>)]) {
+        match self.format {
+            LogFormat::Off => {}
+            LogFormat::Pretty => {
+                let mut line = format!("[{target}] {event}");
+                for (key, value) in fields {
+                    match value {
+                        Field::Str(s) => {
+                            let _ = write!(line, " {key}={s}");
+                        }
+                        Field::U64(n) => {
+                            let _ = write!(line, " {key}={n}");
+                        }
+                        Field::F64(v) => {
+                            let _ = write!(line, " {key}={v:.3}");
+                        }
+                    }
+                }
+                eprintln!("{line}");
+            }
+            LogFormat::Json => {
+                let mut line = format!(
+                    "{{\"target\":{},\"event\":{}",
+                    json_escape(target),
+                    json_escape(event)
+                );
+                for (key, value) in fields {
+                    let _ = write!(line, ",{}:", json_escape(key));
+                    match value {
+                        Field::Str(s) => {
+                            let _ = write!(line, "{}", json_escape(s));
+                        }
+                        Field::U64(n) => {
+                            let _ = write!(line, "{n}");
+                        }
+                        Field::F64(v) if v.is_finite() => {
+                            let _ = write!(line, "{v:.3}");
+                        }
+                        Field::F64(_) => {
+                            let _ = write!(line, "null");
+                        }
+                    }
+                }
+                line.push('}');
+                eprintln!("{line}");
+            }
+        }
+    }
+
+    /// Emit a free-form status message: printed verbatim in `pretty`,
+    /// wrapped in a `{"target":…,"event":"status","message":…}` object
+    /// in `json`, dropped when off unless `always` — then it is printed
+    /// verbatim to stderr (the pre-logging behaviour of the binary).
+    pub fn status(&self, target: &str, message: &str, always: bool) {
+        match self.format {
+            LogFormat::Off => {
+                if always {
+                    eprintln!("{message}");
+                }
+            }
+            LogFormat::Pretty => eprintln!("{message}"),
+            LogFormat::Json => {
+                self.event(target, "status", &[("message", Field::Str(message))]);
+            }
+        }
+    }
+}
+
+/// Escape `s` as a double-quoted JSON string literal.
+///
+/// ```
+/// assert_eq!(edgescope_obs::log::json_escape("a\"b"), "\"a\\\"b\"");
+/// ```
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_formats_only() {
+        assert_eq!(LogFormat::parse(" pretty "), Some(LogFormat::Pretty));
+        assert_eq!(LogFormat::parse("OFF"), Some(LogFormat::Off));
+        assert_eq!(LogFormat::parse("json"), Some(LogFormat::Json));
+        assert_eq!(LogFormat::parse(""), None);
+        assert_eq!(LogFormat::parse("yaml"), None);
+    }
+
+    #[test]
+    fn resolve_prefers_cli_then_env_then_off() {
+        assert_eq!(resolve_log(Some("pretty"), Some("json")), LogFormat::Pretty);
+        assert_eq!(resolve_log(Some("bad"), Some("json")), LogFormat::Json);
+        assert_eq!(resolve_log(None, Some("bad")), LogFormat::Off);
+        assert_eq!(resolve_log(None, None), LogFormat::Off);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_escape("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_escape("q\"\\"), "\"q\\\"\\\\\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn default_format_is_off() {
+        assert_eq!(LogFormat::default(), LogFormat::Off);
+        assert!(!Emitter::new(LogFormat::default()).enabled());
+    }
+}

@@ -29,6 +29,14 @@
 //! Omitted deliberately: VM live migration and hot resource scaling — §4.3
 //! explicitly notes NEP does *not* support them (VM resizing needs a
 //! reboot), and their absence is part of the findings we reproduce.
+//!
+//! ## Observability
+//! [`placement`] reports placement attempts and outcomes to
+//! `edgescope-obs` scoped metrics (`platform.placement_requests`,
+//! `platform.placement_vms_placed`,
+//! `platform.placement_rejected_scope`,
+//! `platform.placement_rejected_capacity`) when a scope is active;
+//! instrumentation never changes placement decisions.
 
 pub mod density;
 pub mod deployment;

@@ -15,6 +15,7 @@
 use crate::deployment::Deployment;
 use crate::ids::{ServerId, SiteId, VmId};
 use crate::resources::VmSpec;
+use edgescope_obs as obs;
 
 /// Geographic scope of a subscription request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,7 +48,6 @@ pub enum PlacementError {
     NoSuchScope,
     /// Fewer than `count` feasible slots exist; carries how many were
     /// placeable.
-    /// Fewer than `count` feasible slots exist; carries how many were placeable.
     InsufficientCapacity {
         /// VMs that could be placed before the request failed.
         placeable: usize,
@@ -102,12 +102,18 @@ impl PlacementPolicy {
     /// deployment's allocation state. VM ids are assigned from
     /// `next_vm_id` (incremented per placement). On
     /// [`PlacementError::InsufficientCapacity`] nothing is allocated.
+    ///
+    /// Metrics (no-ops outside an `obs` scope):
+    /// `platform.placement_requests`, `platform.placement_vms_placed`,
+    /// `platform.placement_rejected_scope`,
+    /// `platform.placement_rejected_capacity`.
     pub fn place(
         &self,
         deployment: &mut Deployment,
         req: &SubscriptionRequest,
         next_vm_id: &mut u32,
     ) -> Result<Vec<Placement>, PlacementError> {
+        obs::counter_inc("platform.placement_requests");
         let site_idxs: Vec<usize> = match &req.scope {
             Scope::Province(p) => deployment.sites_in_province(p),
             Scope::City(c) => deployment
@@ -127,6 +133,7 @@ impl PlacementPolicy {
             Scope::Anywhere => (0..deployment.sites.len()).collect(),
         };
         if site_idxs.is_empty() {
+            obs::counter_inc("platform.placement_rejected_scope");
             return Err(PlacementError::NoSuchScope);
         }
 
@@ -138,13 +145,17 @@ impl PlacementPolicy {
                     let id = VmId(*next_vm_id);
                     *next_vm_id += 1;
                     deployment.sites[si].servers[vi].allocate(id, req.spec);
+                    obs::counter_inc("platform.placement_vms_placed");
                     Ok(vec![Placement {
                         vm: id,
                         site: deployment.sites[si].id,
                         server: deployment.sites[si].servers[vi].id,
                     }])
                 }
-                None => Err(PlacementError::InsufficientCapacity { placeable: 0 }),
+                None => {
+                    obs::counter_inc("platform.placement_rejected_capacity");
+                    Err(PlacementError::InsufficientCapacity { placeable: 0 })
+                }
             };
         }
 
@@ -166,14 +177,16 @@ impl PlacementPolicy {
                     });
                 }
                 None => {
+                    obs::counter_inc("platform.placement_rejected_capacity");
                     return Err(PlacementError::InsufficientCapacity {
                         placeable: placements.len(),
-                    })
+                    });
                 }
             }
         }
         *deployment = working;
         *next_vm_id = vm_id;
+        obs::counter_add("platform.placement_vms_placed", placements.len() as u64);
         Ok(placements)
     }
 
@@ -316,6 +329,33 @@ mod tests {
             PlacementPolicy::default().place(&mut d, &req, &mut next),
             Err(PlacementError::NoSuchScope)
         );
+    }
+
+    #[test]
+    fn placement_counters_track_outcomes() {
+        let ((), set) = obs::scoped(|| {
+            let mut d = small_nep(7);
+            let mut next = 0;
+            PlacementPolicy::default()
+                .place(&mut d, &paper_request(), &mut next)
+                .expect("paper request fits");
+            let bad_scope = SubscriptionRequest {
+                scope: Scope::Province("Narnia".into()),
+                count: 1,
+                spec: VmSpec::new(1, 1, 1, 0.0),
+            };
+            let _ = PlacementPolicy::default().place(&mut d, &bad_scope, &mut next);
+            let too_big = SubscriptionRequest {
+                scope: Scope::Anywhere,
+                count: 100_000,
+                spec: VmSpec::new(48, 192, 1000, 0.0),
+            };
+            let _ = PlacementPolicy::default().place(&mut d, &too_big, &mut next);
+        });
+        assert_eq!(set.counter("platform.placement_requests"), 3);
+        assert_eq!(set.counter("platform.placement_vms_placed"), 10);
+        assert_eq!(set.counter("platform.placement_rejected_scope"), 1);
+        assert_eq!(set.counter("platform.placement_rejected_capacity"), 1);
     }
 
     #[test]

@@ -92,7 +92,7 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
         &PathModel::paper_default(),
         &edge,
         &cloud,
-        &LatencyConfig { pings_per_target: pings },
+        &LatencyConfig { pings_per_target: pings, ..LatencyConfig::default() },
     );
     let tsv = campaign_to_tsv(&campaign);
     std::fs::write(&out, &tsv).map_err(|e| e.to_string())?;

@@ -53,6 +53,7 @@ pub fn intersite_scan(
     let mut rtt_matrix = vec![f64::INFINITY; n * n];
     for i in 0..n {
         for j in i + 1..n {
+            edgescope_obs::counter_inc("probe.intersite_pairs");
             let d = dep.sites[i].geo().distance_km(&dep.sites[j].geo());
             let path = model.intersite_path(rng, d);
             let stats = engine.probe(rng, &path, probes);

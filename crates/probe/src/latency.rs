@@ -8,8 +8,10 @@
 
 use crate::user::VirtualUser;
 use edgescope_net::access::AccessNetwork;
+use edgescope_net::fault::FaultInjector;
 use edgescope_net::path::{Path, PathModel, TargetClass};
 use edgescope_net::ping::PingEngine;
+use edgescope_obs as obs;
 use edgescope_platform::deployment::Deployment;
 use rand::Rng;
 
@@ -30,7 +32,11 @@ pub struct TargetStats {
 
 fn measure(rng: &mut impl Rng, engine: &PingEngine, path: &Path, pings: usize) -> Option<TargetStats> {
     let stats = engine.probe(rng, path, pings);
-    let mean = stats.mean_rtt_ms()?;
+    let Some(mean) = stats.mean_rtt_ms() else {
+        obs::counter_inc("probe.ping_targets_unreachable");
+        return None;
+    };
+    obs::counter_inc("probe.ping_targets_measured");
     let cv = stats.cv().unwrap_or(0.0);
     let total: f64 = path.hops().iter().map(|h| h.rtt_ms).sum();
     let share = |i: usize| path.hops().get(i).map_or(0.0, |h| h.rtt_ms) / total;
@@ -94,11 +100,16 @@ impl UserResult {
 pub struct LatencyConfig {
     /// Probes per target (paper: 30).
     pub pings_per_target: usize,
+    /// Fault injection applied to every probe (default: none — the
+    /// paper's clean-measurement configuration). `FaultInjector::none()`
+    /// consumes no randomness, so the default is stream-identical to a
+    /// fault-free engine.
+    pub fault: FaultInjector,
 }
 
 impl Default for LatencyConfig {
     fn default() -> Self {
-        LatencyConfig { pings_per_target: 30 }
+        LatencyConfig { pings_per_target: 30, fault: FaultInjector::none() }
     }
 }
 
@@ -121,7 +132,7 @@ impl LatencyCampaign {
         cfg: &LatencyConfig,
     ) -> Self {
         assert!(!users.is_empty(), "campaign needs users");
-        let engine = PingEngine::new();
+        let engine = PingEngine::with_fault(cfg.fault);
         fn probe_all<R: Rng>(
             rng: &mut R,
             engine: &PingEngine,
@@ -271,7 +282,7 @@ mod tests {
             &PathModel::paper_default(),
             &edge,
             &cloud,
-            &LatencyConfig { pings_per_target: 30 },
+            &LatencyConfig { pings_per_target: 30, fault: FaultInjector::none() },
         )
     }
 

@@ -19,6 +19,16 @@
 //! * [`records`] — the campaign artefact format (the paper's promised
 //!   performance-dataset release): lossless TSV round-trip from which all
 //!   §3.1 aggregations recompute.
+//!
+//! ## Observability
+//! Campaign loops report to `edgescope-obs` scoped metrics when a scope
+//! is active: `probe.ping_targets_measured` /
+//! `probe.ping_targets_unreachable`, `probe.iperf_sessions`,
+//! `probe.intersite_pairs`, `probe.records_serialized`. The counters
+//! draw no randomness, so results are identical with or without a
+//! scope. [`latency::LatencyConfig`] also carries a
+//! `FaultInjector` so robustness tests can degrade the campaign network
+//! without touching engine internals.
 
 pub mod intersite;
 pub mod latency;

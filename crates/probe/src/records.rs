@@ -56,7 +56,11 @@ fn access_from(s: &str) -> Option<AccessNetwork> {
 }
 
 /// Serialize a campaign to TSV (one row per user-target measurement).
+/// Increments `probe.records_serialized` per row when a metric scope is
+/// active.
 pub fn campaign_to_tsv(campaign: &LatencyCampaign) -> String {
+    let rows: usize = campaign.results.iter().map(|r| r.edge.len() + r.cloud.len()).sum();
+    edgescope_obs::counter_add("probe.records_serialized", rows as u64);
     let mut out = String::from(HEADER);
     out.push('\n');
     for (uid, r) in campaign.results.iter().enumerate() {
@@ -172,7 +176,7 @@ mod tests {
             &PathModel::paper_default(),
             &edge,
             &cloud,
-            &LatencyConfig { pings_per_target: 10 },
+            &LatencyConfig { pings_per_target: 10, ..LatencyConfig::default() },
         )
     }
 

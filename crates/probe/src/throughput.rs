@@ -75,6 +75,7 @@ pub fn throughput_campaign(
         let down_cap = u.access.sample_downlink_mbps(rng);
         let up_cap = u.access.sample_uplink_mbps(rng);
         for &si in &vm_sites {
+            edgescope_obs::counter_inc("probe.iperf_sessions");
             let d = edge.sites[si].geo().distance_km(&u.geo);
             let path = model.ue_path(rng, u.access, d, TargetClass::EdgeSite);
             let down = tcp.iperf(rng, &path, down_cap, cfg.secs);

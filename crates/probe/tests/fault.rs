@@ -1,0 +1,98 @@
+//! Robustness: the latency campaign must degrade gracefully — not panic
+//! or emit non-finite stats — when the network is hostile, and the obs
+//! counters must account for every probe it sends.
+
+use edgescope_net::fault::FaultInjector;
+use edgescope_net::path::PathModel;
+use edgescope_obs as obs;
+use edgescope_platform::deployment::Deployment;
+use edgescope_probe::latency::{LatencyCampaign, LatencyConfig};
+use edgescope_probe::user::recruit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USERS: usize = 12;
+const EDGE_SITES: usize = 30;
+const CLOUD_REGIONS: usize = 12; // Deployment::alicloud()
+const PINGS: usize = 10;
+
+/// Run one campaign under `fault` inside a metric scope.
+fn run_with(fault: FaultInjector, seed: u64) -> (LatencyCampaign, obs::MetricSet) {
+    obs::scoped(|| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edge = Deployment::nep(&mut rng, EDGE_SITES);
+        let cloud = Deployment::alicloud();
+        let users = recruit(&mut rng, USERS);
+        LatencyCampaign::run(
+            &mut rng,
+            &users,
+            &PathModel::paper_default(),
+            &edge,
+            &cloud,
+            &LatencyConfig { pings_per_target: PINGS, fault },
+        )
+    })
+}
+
+fn n_targets(c: &LatencyCampaign) -> usize {
+    c.results.iter().map(|r| r.edge.len() + r.cloud.len()).sum()
+}
+
+#[test]
+fn clean_campaign_sends_every_probe_and_drops_none() {
+    let (clean, set) = run_with(FaultInjector::none(), 11);
+    let expected = (USERS * (EDGE_SITES + CLOUD_REGIONS) * PINGS) as u64;
+    assert_eq!(set.counter("net.probes_sent"), expected, "every probe accounted for");
+    assert_eq!(set.counter("net.probes_dropped_fault"), 0, "no injector, no injected drops");
+    assert_eq!(
+        set.counter("probe.ping_targets_measured"),
+        n_targets(&clean) as u64,
+        "one measured-target count per surviving target"
+    );
+}
+
+#[test]
+fn hostile_network_degrades_gracefully() {
+    let (clean, _) = run_with(FaultInjector::none(), 12);
+    let (hostile, set) = run_with(FaultInjector::hostile(), 12);
+
+    // Same probe volume, but now the injector eats some of it.
+    let expected = (USERS * (EDGE_SITES + CLOUD_REGIONS) * PINGS) as u64;
+    assert_eq!(set.counter("net.probes_sent"), expected);
+    assert!(set.counter("net.probes_dropped_fault") > 0, "hostile() must drop probes");
+
+    // Degraded, never corrupted: every surviving stat stays finite, and
+    // hostility cannot *create* targets.
+    assert!(n_targets(&hostile) <= n_targets(&clean));
+    for r in &hostile.results {
+        for t in r.edge.iter().chain(&r.cloud) {
+            assert!(t.mean_rtt_ms.is_finite() && t.mean_rtt_ms > 0.0, "rtt {}", t.mean_rtt_ms);
+            assert!(t.cv.is_finite() && t.cv >= 0.0, "cv {}", t.cv);
+        }
+    }
+    // The RTT histogram only records probes that actually returned.
+    let h = set.histogram("net.rtt_ms").expect("some probes must survive hostile()");
+    assert_eq!(
+        h.count() + set.counter("net.probes_lost_path") + set.counter("net.probes_dropped_fault"),
+        expected,
+        "sent = observed + lost to path + dropped by injector"
+    );
+}
+
+#[test]
+fn total_blackout_loses_every_target_without_panicking() {
+    let blackout = FaultInjector { drop_chance: 1.0, ..FaultInjector::hostile() };
+    let (campaign, set) = run_with(blackout, 13);
+    assert_eq!(n_targets(&campaign), 0, "no probe returns, no target survives");
+    assert_eq!(
+        set.counter("probe.ping_targets_unreachable"),
+        (USERS * (EDGE_SITES + CLOUD_REGIONS)) as u64,
+        "every target counted as unreachable"
+    );
+    assert_eq!(set.counter("probe.ping_targets_measured"), 0);
+    for r in &campaign.results {
+        assert!(r.kth_edge(0).is_none());
+        assert!(r.nearest_cloud().is_none());
+        assert!(r.all_cloud_mean_rtt().is_none());
+    }
+}

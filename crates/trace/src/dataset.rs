@@ -101,7 +101,7 @@ impl TraceDataset {
                 .entry(r.app)
                 .or_insert_with(|| (draw_app_base_util(rng, params), draw_within_sigma(rng, params)));
         }
-        records
+        let series: Vec<VmSeries> = records
             .iter()
             .map(|r| {
                 let (base, sigma) = app_base[&r.app];
@@ -115,7 +115,17 @@ impl TraceDataset {
                     bw_mbps: profile.bw_series(rng, config),
                 }
             })
-            .collect()
+            .collect();
+        edgescope_obs::counter_add("trace.vms_generated", series.len() as u64);
+        edgescope_obs::counter_add(
+            "trace.cpu_samples",
+            series.iter().map(|s| s.cpu_util_pct.len() as u64).sum(),
+        );
+        edgescope_obs::counter_add(
+            "trace.bw_samples",
+            series.iter().map(|s| s.bw_mbps.len() as u64).sum(),
+        );
+        series
     }
 
     /// Number of VMs.

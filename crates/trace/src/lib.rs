@@ -39,6 +39,13 @@
 //! opaque small integers — nothing in the paper's analysis reads more than
 //! "same image = same app", which the generator encodes directly in
 //! [`population`].
+//!
+//! ## Observability
+//! Generators report to `edgescope-obs` scoped metrics when a scope is
+//! active: `trace.vms_generated`, `trace.cpu_samples`,
+//! `trace.bw_samples`, `trace.vm_requests_skipped` (population VMs
+//! dropped because the platform was full). Counters draw no randomness
+//! and never change generated data.
 
 pub mod app;
 pub mod dataset;

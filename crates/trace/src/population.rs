@@ -156,7 +156,11 @@ pub fn generate_nep(
                         req.scope = Scope::Anywhere;
                         match policy.place(deployment, &req, &mut next_vm) {
                             Ok(p) => p,
-                            Err(_) => continue, // platform full: skip VM
+                            Err(_) => {
+                                // Platform full: skip VM.
+                                edgescope_obs::counter_inc("trace.vm_requests_skipped");
+                                continue;
+                            }
                         }
                     }
                 };

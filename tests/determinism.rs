@@ -43,6 +43,44 @@ fn parallel_execution_matches_serial_byte_for_byte() {
     }
     assert_eq!(serial.timings.jobs, 1);
     assert_eq!(parallel.timings.jobs, 4);
+
+    // Metrics are part of the determinism contract too: per-scope counts
+    // and totals must not depend on the worker count — the JSON document
+    // (which deliberately omits the jobs count) is byte-identical.
+    assert_eq!(
+        serial.metrics.to_json(),
+        parallel.metrics.to_json(),
+        "metrics.json must be byte-identical across --jobs"
+    );
+    let totals = serial.metrics.totals();
+    assert!(totals.counter("net.probes_sent") > 0, "campaign must send probes");
+    assert!(totals.counter("trace.vms_generated") > 0, "campaign must generate trace VMs");
+    assert!(totals.counter("platform.placement_requests") > 0, "campaign must place VMs");
+}
+
+#[test]
+fn logging_does_not_perturb_outputs() {
+    // `--log json` writes spans to stderr; renders, CSVs and metrics must
+    // stay byte-identical to a silent run.
+    use edgescope::obs::log::LogFormat;
+    let scenario = Scenario::new(Scale::Quick, 42);
+    let specs = edgescope::experiments::select_experiments(registry(), "table1,fig2a,fig3")
+        .expect("known experiment names");
+    let quiet = Executor::new(1).run(&scenario, specs.clone());
+    let logged = Executor::new(1).with_log(LogFormat::Json).run(&scenario, specs);
+
+    let renders =
+        |e: &edgescope::Execution| e.reports.iter().map(|r| r.render()).collect::<Vec<_>>();
+    assert_eq!(renders(&quiet), renders(&logged), "renders must ignore the log mode");
+    let csvs = |e: &edgescope::Execution| {
+        e.reports.iter().flat_map(|r| r.csv.iter().cloned()).collect::<Vec<_>>()
+    };
+    assert_eq!(csvs(&quiet), csvs(&logged), "CSV series must ignore the log mode");
+    assert_eq!(
+        quiet.metrics.to_json(),
+        logged.metrics.to_json(),
+        "metrics must ignore the log mode"
+    );
 }
 
 #[test]
