@@ -10,8 +10,9 @@
 //! Prints every selected experiment's tables to stdout and writes under
 //! `results_dir` (default `results/`): the CSV series, a browsable
 //! `index.html` with timing and metrics summaries, `timings.csv`
-//! (`name,kind,wall_ms`; one `stage` row per shared study build, one
-//! `experiment` row per experiment, one `total` row), and
+//! (`name,kind,workers,wall_ms`; one `stage` row per shared study build
+//! carrying the `--jobs` width it fanned out over, one `experiment` row
+//! per experiment on one worker, one `total` row), and
 //! `metrics.json` (deterministic per-scope campaign metrics, schema
 //! `edgescope-metrics/1`; totals identical across worker counts).
 //!

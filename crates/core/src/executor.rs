@@ -9,6 +9,12 @@
 //! every experiment derives its own RNG from `(seed, tag)` and shares no
 //! mutable state with its peers.
 //!
+//! The shared study builds are themselves data-parallel: the executor
+//! passes its `--jobs` into [`LatencyStudy::run_jobs`] /
+//! [`WorkloadStudy::run_jobs`], whose campaign loops give every entity
+//! (user, VM) an independent RNG stream and merge in entity order — so
+//! the studies, too, are byte-identical at every worker count.
+//!
 //! Alongside the reports, the executor records wall-clock [`Timings`]:
 //! one entry per shared study build ("stage") and one per experiment,
 //! exported as `results/timings.csv` by the `reproduce` binary and as a
@@ -49,6 +55,10 @@ pub struct TimedEntry {
     /// What was timed — an experiment name, or `study:latency` /
     /// `study:workload` for the shared stages.
     pub name: String,
+    /// Worker threads this entry ran with: the executor's `--jobs` for
+    /// data-parallel study builds, 1 for experiments (each runs entirely
+    /// on one worker).
+    pub workers: usize,
     /// Wall-clock duration in milliseconds.
     pub wall_ms: f64,
 }
@@ -76,18 +86,19 @@ impl Timings {
             .max_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
     }
 
-    /// Render as CSV with the schema `name,kind,wall_ms` where `kind` is
-    /// `stage` (shared study build), `experiment`, or `total` (one final
-    /// row with the campaign wall-clock).
+    /// Render as CSV with the schema `name,kind,workers,wall_ms` where
+    /// `kind` is `stage` (shared study build), `experiment`, or `total`
+    /// (one final row with the campaign wall-clock and the campaign's
+    /// `--jobs`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("name,kind,wall_ms\n");
+        let mut out = String::from("name,kind,workers,wall_ms\n");
         for e in &self.stages {
-            out.push_str(&format!("{},stage,{:.3}\n", e.name, e.wall_ms));
+            out.push_str(&format!("{},stage,{},{:.3}\n", e.name, e.workers, e.wall_ms));
         }
         for e in &self.experiments {
-            out.push_str(&format!("{},experiment,{:.3}\n", e.name, e.wall_ms));
+            out.push_str(&format!("{},experiment,{},{:.3}\n", e.name, e.workers, e.wall_ms));
         }
-        out.push_str(&format!("total,total,{:.3}\n", self.total_ms));
+        out.push_str(&format!("total,total,{},{:.3}\n", self.jobs, self.total_ms));
         out
     }
 
@@ -96,15 +107,30 @@ impl Timings {
     pub fn summary_table(&self) -> Table {
         let mut t = Table::new(
             format!("Execution timings ({} worker(s))", self.jobs),
-            &["name", "kind", "wall_ms"],
+            &["name", "kind", "workers", "wall_ms"],
         );
         for e in &self.stages {
-            t.row(vec![e.name.clone(), "stage".into(), format!("{:.1}", e.wall_ms)]);
+            t.row(vec![
+                e.name.clone(),
+                "stage".into(),
+                e.workers.to_string(),
+                format!("{:.1}", e.wall_ms),
+            ]);
         }
         for e in &self.experiments {
-            t.row(vec![e.name.clone(), "experiment".into(), format!("{:.1}", e.wall_ms)]);
+            t.row(vec![
+                e.name.clone(),
+                "experiment".into(),
+                e.workers.to_string(),
+                format!("{:.1}", e.wall_ms),
+            ]);
         }
-        t.row(vec!["total".into(), "total".into(), format!("{:.1}", self.total_ms)]);
+        t.row(vec![
+            "total".into(),
+            "total".into(),
+            self.jobs.to_string(),
+            format!("{:.1}", self.total_ms),
+        ]);
         t
     }
 }
@@ -310,93 +336,57 @@ impl Executor {
             ],
         );
 
+        // Studies build one after the other, each data-parallel inside
+        // itself at the full `--jobs` width — intra-study fan-out keeps
+        // every worker busy for the whole build, which beats overlapping
+        // two serial builds (the latency study dominates and would leave
+        // the other workers idle once the workload build finishes).
         let mut stages = Vec::new();
         let mut stage_metrics: Vec<ScopeMetrics> = Vec::new();
         let mut studies = Studies::none();
-        if need_latency && need_workload && self.jobs > 1 {
-            let mut latency_built: Option<(LatencyStudy, f64, MetricSet)> = None;
-            let mut workload_built: Option<(WorkloadStudy, f64, MetricSet)> = None;
-            crossbeam::thread::scope(|sc| {
-                let handle = sc.spawn(|_| {
-                    emitter.event("executor", "study.start", &[("study", Field::Str("latency"))]);
-                    let t = Instant::now();
-                    let (study, set) = obs::scoped(|| LatencyStudy::run(scenario));
-                    let ms = elapsed_ms(t);
-                    emitter.event(
-                        "executor",
-                        "study.close",
-                        &[("study", Field::Str("latency")), ("wall_ms", Field::F64(ms))],
-                    );
-                    (study, ms, set)
-                });
-                emitter.event("executor", "study.start", &[("study", Field::Str("workload"))]);
-                let t = Instant::now();
-                let (workload, set) = obs::scoped(|| WorkloadStudy::run(scenario));
-                let ms = elapsed_ms(t);
-                emitter.event(
-                    "executor",
-                    "study.close",
-                    &[("study", Field::Str("workload")), ("wall_ms", Field::F64(ms))],
-                );
-                workload_built = Some((workload, ms, set));
-                latency_built = Some(handle.join().expect("latency study panicked"));
-            })
-            .expect("study worker panicked");
-            let (latency, latency_ms, latency_set) =
-                latency_built.expect("latency study not built");
-            let (workload, workload_ms, workload_set) =
-                workload_built.expect("workload study not built");
-            stages.push(TimedEntry { name: "study:latency".into(), wall_ms: latency_ms });
-            stages.push(TimedEntry { name: "study:workload".into(), wall_ms: workload_ms });
+        if need_latency {
+            emitter.event("executor", "study.start", &[("study", Field::Str("latency"))]);
+            let t = Instant::now();
+            let (study, set) = obs::scoped(|| LatencyStudy::run_jobs(scenario, self.jobs));
+            let ms = elapsed_ms(t);
+            emitter.event(
+                "executor",
+                "study.close",
+                &[("study", Field::Str("latency")), ("wall_ms", Field::F64(ms))],
+            );
+            studies.latency = Some(study);
+            stages.push(TimedEntry {
+                name: "study:latency".into(),
+                workers: self.jobs,
+                wall_ms: ms,
+            });
             stage_metrics.push(ScopeMetrics {
                 name: "study:latency".into(),
                 kind: "stage",
-                set: latency_set,
+                set,
+            });
+        }
+        if need_workload {
+            emitter.event("executor", "study.start", &[("study", Field::Str("workload"))]);
+            let t = Instant::now();
+            let (study, set) = obs::scoped(|| WorkloadStudy::run_jobs(scenario, self.jobs));
+            let ms = elapsed_ms(t);
+            emitter.event(
+                "executor",
+                "study.close",
+                &[("study", Field::Str("workload")), ("wall_ms", Field::F64(ms))],
+            );
+            studies.workload = Some(study);
+            stages.push(TimedEntry {
+                name: "study:workload".into(),
+                workers: self.jobs,
+                wall_ms: ms,
             });
             stage_metrics.push(ScopeMetrics {
                 name: "study:workload".into(),
                 kind: "stage",
-                set: workload_set,
+                set,
             });
-            studies.latency = Some(latency);
-            studies.workload = Some(workload);
-        } else {
-            if need_latency {
-                emitter.event("executor", "study.start", &[("study", Field::Str("latency"))]);
-                let t = Instant::now();
-                let (study, set) = obs::scoped(|| LatencyStudy::run(scenario));
-                let ms = elapsed_ms(t);
-                emitter.event(
-                    "executor",
-                    "study.close",
-                    &[("study", Field::Str("latency")), ("wall_ms", Field::F64(ms))],
-                );
-                studies.latency = Some(study);
-                stages.push(TimedEntry { name: "study:latency".into(), wall_ms: ms });
-                stage_metrics.push(ScopeMetrics {
-                    name: "study:latency".into(),
-                    kind: "stage",
-                    set,
-                });
-            }
-            if need_workload {
-                emitter.event("executor", "study.start", &[("study", Field::Str("workload"))]);
-                let t = Instant::now();
-                let (study, set) = obs::scoped(|| WorkloadStudy::run(scenario));
-                let ms = elapsed_ms(t);
-                emitter.event(
-                    "executor",
-                    "study.close",
-                    &[("study", Field::Str("workload")), ("wall_ms", Field::F64(ms))],
-                );
-                studies.workload = Some(study);
-                stages.push(TimedEntry { name: "study:workload".into(), wall_ms: ms });
-                stage_metrics.push(ScopeMetrics {
-                    name: "study:workload".into(),
-                    kind: "stage",
-                    set,
-                });
-            }
         }
 
         let n = specs.len();
@@ -417,7 +407,7 @@ impl Executor {
                     "experiment.close",
                     &[("name", Field::Str(spec.name)), ("wall_ms", Field::F64(wall_ms))],
                 );
-                experiments.push(TimedEntry { name: spec.name.to_string(), wall_ms });
+                experiments.push(TimedEntry { name: spec.name.to_string(), workers: 1, wall_ms });
                 experiment_metrics.push(ScopeMetrics {
                     name: spec.name.to_string(),
                     kind: "experiment",
@@ -464,7 +454,7 @@ impl Executor {
             .expect("experiment worker panicked");
             for (spec, slot) in specs.iter().zip(slots) {
                 let (report, wall_ms, set) = slot.into_inner().expect("experiment never ran");
-                experiments.push(TimedEntry { name: spec.name.to_string(), wall_ms });
+                experiments.push(TimedEntry { name: spec.name.to_string(), workers: 1, wall_ms });
                 experiment_metrics.push(ScopeMetrics {
                     name: spec.name.to_string(),
                     kind: "experiment",
@@ -591,14 +581,28 @@ mod tests {
         let exec = Executor::new(2).run(&scenario, vec![tiny_spec("a"), tiny_spec("b")]);
         let csv = exec.timings.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "name,kind,wall_ms");
+        assert_eq!(lines[0], "name,kind,workers,wall_ms");
         // 2 experiments + total, no stages.
         assert_eq!(lines.len(), 4);
-        assert!(lines[1].starts_with("a,experiment,"));
-        assert!(lines[2].starts_with("b,experiment,"));
-        assert!(lines[3].starts_with("total,total,"));
+        assert!(lines[1].starts_with("a,experiment,1,"));
+        assert!(lines[2].starts_with("b,experiment,1,"));
+        assert!(lines[3].starts_with("total,total,2,"));
         let table = exec.timings.summary_table();
         assert_eq!(table.n_rows(), 3);
+    }
+
+    #[test]
+    fn stage_entries_carry_the_jobs_count() {
+        let specs = select_experiments(registry(), "fig3").expect("fig3 exists");
+        let scenario = Scenario::new(Scale::Quick, 7);
+        let exec = Executor::new(3).run(&scenario, specs);
+        assert_eq!(exec.timings.stages.len(), 1);
+        assert_eq!(exec.timings.stages[0].workers, 3);
+        assert!(exec
+            .timings
+            .to_csv()
+            .lines()
+            .any(|l| l.starts_with("study:latency,stage,3,")));
     }
 
     #[test]

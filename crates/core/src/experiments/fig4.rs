@@ -9,8 +9,7 @@ use edgescope_probe::intersite::intersite_scan;
 /// distance buckets' mean RTTs, and the nearby-site counts.
 pub fn run(scenario: &Scenario) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig4", "Inter-site RTT vs distance");
-    let mut rng = scenario.rng(0xf144);
-    let scan = intersite_scan(&mut rng, &scenario.path_model, &scenario.nep, 5);
+    let scan = intersite_scan(scenario.stream_seed(0xf144), &scenario.path_model, &scenario.nep, 5);
 
     let mut t = Table::new("RTT by distance bucket", &["distance (km)", "pairs", "mean RTT (ms)", "max RTT (ms)"]);
     let buckets = [

@@ -18,18 +18,20 @@ use edgescope_platform::geo_china::CITIES;
 pub fn run(scenario: &Scenario) -> ExperimentReport {
     let mut report =
         ExperimentReport::new("fig5", "TCP throughput vs distance (iPerf3, 15 s per run)");
-    let mut rng = scenario.rng(0xf155);
     let mut t = Table::new(
         "throughput summary",
         &["network", "direction", "mean Mbps", "pearson r", "paper r band"],
     );
 
-    for access in [
+    for (k, access) in [
         AccessNetwork::Wifi,
         AccessNetwork::Lte,
         AccessNetwork::FiveG,
         AccessNetwork::Wired,
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         // 25 testers at the 25 most populous distinct cities.
         let users: Vec<VirtualUser> = CITIES
             .iter()
@@ -40,8 +42,10 @@ pub fn run(scenario: &Scenario) -> ExperimentReport {
                 access,
             })
             .collect();
+        // One campaign seed per cohort, derived from the experiment tag
+        // so the four access-network runs stay independent streams.
         let rows = throughput_campaign(
-            &mut rng,
+            scenario.stream_seed(0xf155_0000 + k as u64),
             &users,
             &scenario.path_model,
             &scenario.tcp_model,

@@ -10,11 +10,17 @@ pub struct LatencyStudy {
 }
 
 impl LatencyStudy {
-    /// Run the full crowd campaign of the scenario.
+    /// Run the full crowd campaign of the scenario on one worker.
     pub fn run(scenario: &Scenario) -> Self {
-        let mut rng = scenario.rng(0x1a7e);
-        let campaign = LatencyCampaign::run(
-            &mut rng,
+        Self::run_jobs(scenario, 1)
+    }
+
+    /// Run the full crowd campaign over up to `jobs` worker threads —
+    /// byte-identical to the serial build at every worker count (each
+    /// user draws from their own RNG stream).
+    pub fn run_jobs(scenario: &Scenario, jobs: usize) -> Self {
+        let campaign = LatencyCampaign::run_jobs(
+            scenario.stream_seed(0x1a7e),
             &scenario.users,
             &scenario.path_model,
             &scenario.nep,
@@ -23,6 +29,7 @@ impl LatencyStudy {
                 pings_per_target: scenario.sizing.pings_per_target,
                 ..LatencyConfig::default()
             },
+            jobs,
         );
         LatencyStudy { campaign }
     }

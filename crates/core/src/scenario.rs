@@ -36,6 +36,13 @@
 //! [`crate::executor::Executor`] run them on parallel worker threads and
 //! still produce byte-identical reports for any `--jobs` value
 //! (asserted by `tests/determinism.rs`).
+//!
+//! The same contract extends *inside* the shared studies: the campaign
+//! loops give every entity (virtual user, source site, VM) its own
+//! stream via `edgescope_net::rng::stream_rng(seed, entity_tag(domain,
+//! index))`, where the campaign seed comes from [`Scenario::stream_seed`]
+//! with the experiment's tag. Entity draws are therefore independent of
+//! both experiment order *and* intra-study worker count.
 
 use edgescope_net::path::PathModel;
 use edgescope_net::tcp::ThroughputModel;
@@ -201,6 +208,14 @@ impl Scenario {
     /// docs for the tag allocation rules).
     pub fn rng(&self, tag: u64) -> StdRng {
         StdRng::seed_from_u64(self.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The campaign seed for a tagged, data-parallel study: the base
+    /// value the campaign loops split into per-entity streams
+    /// (`edgescope_net::rng::stream_rng`). Same tag-allocation rules as
+    /// [`Scenario::rng`].
+    pub fn stream_seed(&self, tag: u64) -> u64 {
+        edgescope_net::rng::stream_seed(self.seed, tag)
     }
 }
 

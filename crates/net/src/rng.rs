@@ -1,10 +1,78 @@
-//! Distribution sampling helpers.
+//! Distribution sampling helpers and per-entity RNG-stream derivation.
 //!
 //! The allowed dependency set includes `rand` but not `rand_distr`, so the
 //! handful of distributions the simulator needs are implemented here:
 //! normal (Box–Muller), log-normal, truncated normal, and exponential.
+//!
+//! # Per-entity RNG streams
+//!
+//! The data-parallel campaign loops (latency / throughput / inter-site in
+//! `edgescope-probe`, series synthesis in `edgescope-trace`) give every
+//! entity — a virtual user, a source site, a VM — its **own** `StdRng`,
+//! derived from the campaign seed and a stable entity tag via
+//! [`stream_seed`] / [`stream_rng`]. Because an entity's draws no longer
+//! depend on how many entities ran before it on the same thread, the
+//! loops can fan entities out over any number of workers and still
+//! produce byte-identical output: determinism holds by construction, not
+//! by serialization.
+//!
+//! Tags are built with [`entity_tag`] from a *domain* (which kind of
+//! entity — see [`domains`]) and the entity's index, so streams never
+//! collide across campaign stages that share a seed. The mixing is
+//! golden-ratio XOR followed by a [SplitMix64] finalizer, so adjacent
+//! indices land on well-separated seeds.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Entity-stream domains: one constant per kind of parallel entity. A
+/// `(seed, domain, index)` triple names exactly one RNG stream, so two
+/// campaign stages sharing a seed (e.g. trace records and trace series)
+/// can never collide. Never reuse a domain for a new entity kind — the
+/// same rule as the per-experiment tag allocation in `core::scenario`.
+pub mod domains {
+    /// Latency-campaign virtual users (one stream per user).
+    pub const LATENCY_USER: u32 = 1;
+    /// Throughput-campaign virtual users (one stream per user).
+    pub const THROUGHPUT_USER: u32 = 2;
+    /// Inter-site scan source sites (one stream per site `i`, covering
+    /// its pairs `(i, j > i)`).
+    pub const INTERSITE_SITE: u32 = 3;
+    /// Trace per-VM series (one stream per VM record).
+    pub const TRACE_VM: u32 = 4;
+    /// Trace per-app base-utilization draws (a single stream, index 0).
+    pub const TRACE_APP: u32 = 5;
+}
+
+/// SplitMix64 finalizer: a bijective avalanche over `u64`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed of an independent RNG stream from a base seed and a
+/// stream tag (usually an [`entity_tag`]). Same contract as
+/// `Scenario::rng` in `edgescope-core`, with an extra SplitMix64
+/// finalizer so sequential indices map to well-separated seeds.
+pub fn stream_seed(seed: u64, tag: u64) -> u64 {
+    splitmix64(seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A fresh `StdRng` on the `(seed, tag)` stream — see [`stream_seed`].
+pub fn stream_rng(seed: u64, tag: u64) -> StdRng {
+    StdRng::seed_from_u64(stream_seed(seed, tag))
+}
+
+/// Build the stream tag of one entity: its [`domains`] constant plus its
+/// index within the campaign (deployment/crowd/record order).
+pub fn entity_tag(domain: u32, index: usize) -> u64 {
+    debug_assert!((index as u64) < (1u64 << 32), "entity index overflows the tag layout");
+    ((domain as u64) << 32) | (index as u64 & 0xFFFF_FFFF)
+}
 
 /// Sample a standard normal via Box–Muller.
 pub fn standard_normal(rng: &mut impl Rng) -> f64 {
@@ -147,5 +215,38 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
         }
+    }
+
+    #[test]
+    fn stream_seeds_are_deterministic_and_distinct() {
+        assert_eq!(stream_seed(42, 7), stream_seed(42, 7));
+        // Distinct tags, distinct seeds — including adjacent indices,
+        // which the raw XOR-multiply alone would map close together.
+        let mut seen = std::collections::BTreeSet::new();
+        for domain in [domains::LATENCY_USER, domains::TRACE_VM] {
+            for i in 0..1000usize {
+                assert!(seen.insert(stream_seed(42, entity_tag(domain, i))));
+            }
+        }
+        assert_eq!(seen.len(), 2000);
+    }
+
+    #[test]
+    fn entity_tags_never_collide_across_domains() {
+        assert_ne!(
+            entity_tag(domains::LATENCY_USER, 3),
+            entity_tag(domains::THROUGHPUT_USER, 3)
+        );
+        assert_eq!(entity_tag(domains::LATENCY_USER, 0) >> 32, domains::LATENCY_USER as u64);
+        assert_eq!(entity_tag(domains::TRACE_VM, 9) & 0xFFFF_FFFF, 9);
+    }
+
+    #[test]
+    fn stream_rngs_are_independent() {
+        let a: u64 = stream_rng(5, entity_tag(domains::LATENCY_USER, 0)).gen();
+        let b: u64 = stream_rng(5, entity_tag(domains::LATENCY_USER, 1)).gen();
+        let a2: u64 = stream_rng(5, entity_tag(domains::LATENCY_USER, 0)).gen();
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
     }
 }

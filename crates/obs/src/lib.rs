@@ -7,7 +7,10 @@
 //!   substrate crates ([`counter_add`], [`observe`]) and harvested by
 //!   whoever installed the enclosing scope ([`scoped`]). When no scope
 //!   is active every increment is a cheap no-op, so unit tests, examples
-//!   and benches observe nothing and pay (almost) nothing.
+//!   and benches observe nothing and pay (almost) nothing. Sets
+//!   collected on worker threads fold back into a coordinating scope
+//!   with [`record_set`], which is how the data-parallel campaign loops
+//!   keep metrics identical across worker counts.
 //! * **Structured logging** — the [`log`] module: span-style start/close
 //!   events in `pretty` or JSON-lines format on stderr, default `off`.
 //!
@@ -75,6 +78,28 @@ pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, MetricSet) {
         set
     });
     (value, set)
+}
+
+/// Fold an already-collected [`MetricSet`] into the active scope; no-op
+/// without one. This is the bridge the data-parallel campaign loops use:
+/// each entity (user, site, VM batch) records into its own scope on
+/// whichever worker thread ran it, and the coordinating thread then
+/// replays the per-entity sets **in entity order** into its own scope —
+/// so the enclosing scope's content (including order-sensitive f64
+/// histogram sums) is identical for every worker count.
+///
+/// ```
+/// use edgescope_obs as obs;
+/// let ((), inner) = obs::scoped(|| obs::counter_add("demo.work", 2));
+/// let ((), outer) = obs::scoped(|| obs::record_set(&inner));
+/// assert_eq!(outer.counter("demo.work"), 2);
+/// ```
+pub fn record_set(set: &MetricSet) {
+    SCOPE.with(|s| {
+        if let Some(active) = s.borrow_mut().as_mut() {
+            active.merge(set);
+        }
+    });
 }
 
 /// Add `n` to the named counter in the active scope; no-op without one.
@@ -378,6 +403,22 @@ mod tests {
         let h = total.histogram("t.h").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.cumulative(), vec![1]);
+    }
+
+    #[test]
+    fn record_set_merges_into_active_scope_only() {
+        let ((), worker) = scoped(|| {
+            counter_add("t.rs", 3);
+            observe("t.rs_h", 2.0, &[10.0]);
+        });
+        // Without a scope: dropped.
+        record_set(&worker);
+        let ((), outer) = scoped(|| {
+            counter_add("t.rs", 1);
+            record_set(&worker);
+        });
+        assert_eq!(outer.counter("t.rs"), 4);
+        assert_eq!(outer.histogram("t.rs_h").unwrap().count(), 1);
     }
 
     #[test]

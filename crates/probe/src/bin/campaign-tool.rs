@@ -2,10 +2,11 @@
 //! performance-dataset counterpart of `trace-tool`.
 //!
 //! ```text
-//! campaign-tool run [--users N] [--sites S] [--pings P] [--seed X] --out FILE.tsv
+//! campaign-tool run [--users N] [--sites S] [--pings P] [--seed X] [--jobs J] --out FILE.tsv
 //! campaign-tool summarize FILE.tsv     # recompute the section-3.1 aggregates
 //! ```
 
+use edgescope_analysis::stats::median;
 use edgescope_net::access::AccessNetwork;
 use edgescope_net::path::PathModel;
 use edgescope_platform::deployment::Deployment;
@@ -19,27 +20,24 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  campaign-tool run [--users N] [--sites S] [--pings P] [--seed X] --out FILE.tsv\n  campaign-tool summarize FILE.tsv"
+        "usage:\n  campaign-tool run [--users N] [--sites S] [--pings P] [--seed X] [--jobs J] --out FILE.tsv\n  campaign-tool summarize FILE.tsv"
     );
     ExitCode::from(2)
 }
 
-fn median(xs: &[f64]) -> f64 {
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    v[v.len() / 2]
-}
-
-fn summarize(campaign: &LatencyCampaign) {
-    println!("{} users", campaign.results.len());
+/// The §3.1 aggregate lines for one campaign. A degraded artefact can
+/// leave any access-network bucket — or the hop vectors — empty, so every
+/// line is guarded rather than indexed into.
+fn summary_lines(campaign: &LatencyCampaign) -> Vec<String> {
+    let mut out = vec![format!("{} users", campaign.results.len())];
     for net in [AccessNetwork::Wifi, AccessNetwork::Lte, AccessNetwork::FiveG] {
         let a = campaign.fig2a(net);
         let b = campaign.fig2b(net);
         if a.nearest_edge.len() < 3 {
-            println!("{}: {} users (skipped)", net.label(), a.nearest_edge.len());
+            out.push(format!("{}: {} users (skipped)", net.label(), a.nearest_edge.len()));
             continue;
         }
-        println!(
+        out.push(format!(
             "{}: nearest edge {:.1} ms (CV {:.1}%), nearest cloud {:.1} ms (CV {:.1}%), all clouds {:.1} ms",
             net.label(),
             median(&a.nearest_edge),
@@ -47,15 +45,22 @@ fn summarize(campaign: &LatencyCampaign) {
             median(&a.nearest_cloud),
             100.0 * median(&b.nearest_cloud),
             median(&a.all_clouds),
-        );
+        ));
     }
     let (edge_hops, cloud_hops) = campaign.fig3();
-    if !edge_hops.is_empty() {
-        println!(
+    if !edge_hops.is_empty() && !cloud_hops.is_empty() {
+        out.push(format!(
             "hops: edge median {:.0}, cloud median {:.0}",
             median(&edge_hops),
             median(&cloud_hops)
-        );
+        ));
+    }
+    out
+}
+
+fn summarize(campaign: &LatencyCampaign) {
+    for line in summary_lines(campaign) {
+        println!("{line}");
     }
 }
 
@@ -64,6 +69,7 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
     let mut sites = 100usize;
     let mut pings = 30usize;
     let mut seed = 42u64;
+    let mut jobs = 1usize;
     let mut out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -73,26 +79,28 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
             "--sites" => sites = take()?.parse().map_err(|e| format!("--sites: {e}"))?,
             "--pings" => pings = take()?.parse().map_err(|e| format!("--pings: {e}"))?,
             "--seed" => seed = take()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--jobs" => jobs = take()?.parse().map_err(|e| format!("--jobs: {e}"))?,
             "--out" => out = Some(PathBuf::from(take()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     let out = out.ok_or("missing --out")?;
-    if users == 0 || sites == 0 || pings == 0 {
-        return Err("--users/--sites/--pings must be positive".into());
+    if users == 0 || sites == 0 || pings == 0 || jobs == 0 {
+        return Err("--users/--sites/--pings/--jobs must be positive".into());
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let edge = Deployment::nep(&mut rng, sites);
     let cloud = Deployment::alicloud();
     let crowd = recruit(&mut rng, users);
-    eprintln!("running: {users} users x ({sites} edge + 12 cloud) targets x {pings} pings");
-    let campaign = LatencyCampaign::run(
-        &mut rng,
+    eprintln!("running: {users} users x ({sites} edge + 12 cloud) targets x {pings} pings ({jobs} workers)");
+    let campaign = LatencyCampaign::run_jobs(
+        seed,
         &crowd,
         &PathModel::paper_default(),
         &edge,
         &cloud,
         &LatencyConfig { pings_per_target: pings, ..LatencyConfig::default() },
+        jobs,
     );
     let tsv = campaign_to_tsv(&campaign);
     std::fs::write(&out, &tsv).map_err(|e| e.to_string())?;
@@ -129,5 +137,67 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgescope_net::geo::GeoPoint;
+    use edgescope_probe::user::VirtualUser;
+    use edgescope_platform::geo_china::CITIES;
+
+    fn campaign_on(networks: &[AccessNetwork]) -> LatencyCampaign {
+        let mut rng = StdRng::seed_from_u64(7);
+        let edge = Deployment::nep(&mut rng, 15);
+        let cloud = Deployment::alicloud();
+        let users: Vec<VirtualUser> = networks
+            .iter()
+            .zip(CITIES.iter().cycle())
+            .map(|(&access, c)| VirtualUser {
+                city: *c,
+                geo: GeoPoint::new(c.lat_deg, c.lon_deg),
+                access,
+            })
+            .collect();
+        LatencyCampaign::run(
+            7,
+            &users,
+            &PathModel::paper_default(),
+            &edge,
+            &cloud,
+            &LatencyConfig { pings_per_target: 10, ..LatencyConfig::default() },
+        )
+    }
+
+    #[test]
+    fn empty_access_bucket_is_skipped_not_panicking() {
+        // Five WiFi users, zero LTE, zero 5G: the LTE/5G buckets are
+        // empty and `summary_lines` must report them as skipped instead
+        // of taking a median of nothing.
+        let c = campaign_on(&[AccessNetwork::Wifi; 5]);
+        let lines = summary_lines(&c);
+        assert_eq!(lines[0], "5 users");
+        assert!(lines.iter().any(|l| l.starts_with("WiFi: nearest edge")), "{lines:?}");
+        assert!(lines.contains(&"LTE: 0 users (skipped)".to_string()), "{lines:?}");
+        assert!(lines.contains(&"5G: 0 users (skipped)".to_string()), "{lines:?}");
+    }
+
+    #[test]
+    fn wired_only_campaign_summarizes_without_panicking() {
+        // Wired users appear in no fig2 bucket at all; the summary must
+        // still produce the header and the hop line.
+        let c = campaign_on(&[AccessNetwork::Wired; 4]);
+        let lines = summary_lines(&c);
+        assert_eq!(lines[0], "4 users");
+        assert!(lines.iter().any(|l| l.starts_with("hops:")), "{lines:?}");
+    }
+
+    #[test]
+    fn empty_campaign_summarizes_to_header_lines_only() {
+        let c = LatencyCampaign { results: Vec::new() };
+        let lines = summary_lines(&c);
+        assert_eq!(lines[0], "0 users");
+        assert!(!lines.iter().any(|l| l.starts_with("hops:")));
     }
 }

@@ -5,12 +5,19 @@
 //! ground-truth hop-latency shares. Aggregation is per-user-first: the
 //! nearest / 3rd-nearest edge and nearest / all-cloud figures come from
 //! each user's own measurements, then CDFs are taken across users.
+//!
+//! The campaign is data-parallel over users: each user draws from their
+//! own RNG stream (`stream_rng(seed, entity_tag(LATENCY_USER, i))`) and
+//! records metrics into their own scope, so
+//! [`LatencyCampaign::run_jobs`] returns byte-identical results — and
+//! identical enclosing metric sets — for every worker count.
 
 use crate::user::VirtualUser;
 use edgescope_net::access::AccessNetwork;
 use edgescope_net::fault::FaultInjector;
 use edgescope_net::path::{Path, PathModel, TargetClass};
 use edgescope_net::ping::PingEngine;
+use edgescope_net::rng::{domains, entity_tag, stream_rng};
 use edgescope_obs as obs;
 use edgescope_platform::deployment::Deployment;
 use rand::Rng;
@@ -36,8 +43,15 @@ fn measure(rng: &mut impl Rng, engine: &PingEngine, path: &Path, pings: usize) -
         obs::counter_inc("probe.ping_targets_unreachable");
         return None;
     };
+    // A single returned probe has no dispersion estimate. Mapping that to
+    // CV = 0 would report a target that lost 29/30 probes as *perfectly*
+    // stable and bias Fig. 2(b) downward under loss, so such targets are
+    // dropped from the results entirely.
+    let Some(cv) = stats.cv() else {
+        obs::counter_inc("probe.ping_targets_low_sample");
+        return None;
+    };
     obs::counter_inc("probe.ping_targets_measured");
-    let cv = stats.cv().unwrap_or(0.0);
     let total: f64 = path.hops().iter().map(|h| h.rtt_ms).sum();
     let share = |i: usize| path.hops().get(i).map_or(0.0, |h| h.rtt_ms) / total;
     let rest: f64 = path.hops().iter().skip(3).map(|h| h.rtt_ms).sum::<f64>() / total;
@@ -55,26 +69,29 @@ fn measure(rng: &mut impl Rng, engine: &PingEngine, path: &Path, pings: usize) -
 pub struct UserResult {
     /// The participant.
     pub user: VirtualUser,
-    /// Stats per edge site, in deployment order (lost-all-probes targets
-    /// are dropped).
+    /// Stats per edge site, in deployment order (targets that lost every
+    /// probe, or returned fewer than two, are dropped).
     pub edge: Vec<TargetStats>,
-    /// Stats per cloud region.
+    /// Stats per cloud region (same dropping rule).
     pub cloud: Vec<TargetStats>,
 }
 
 impl UserResult {
     /// The `k`-th nearest edge target by measured mean RTT (0 = nearest).
+    /// Ordering uses `total_cmp`, so a non-finite RTT smuggled in through
+    /// a hand-edited artefact sorts last instead of panicking.
     pub fn kth_edge(&self, k: usize) -> Option<&TargetStats> {
         let mut sorted: Vec<&TargetStats> = self.edge.iter().collect();
-        sorted.sort_by(|a, b| a.mean_rtt_ms.partial_cmp(&b.mean_rtt_ms).unwrap());
+        sorted.sort_by(|a, b| a.mean_rtt_ms.total_cmp(&b.mean_rtt_ms));
         sorted.get(k).copied()
     }
 
-    /// The nearest cloud target by measured mean RTT.
+    /// The nearest cloud target by measured mean RTT (`total_cmp`, as in
+    /// [`UserResult::kth_edge`]).
     pub fn nearest_cloud(&self) -> Option<&TargetStats> {
         self.cloud
             .iter()
-            .min_by(|a, b| a.mean_rtt_ms.partial_cmp(&b.mean_rtt_ms).unwrap())
+            .min_by(|a, b| a.mean_rtt_ms.total_cmp(&b.mean_rtt_ms))
     }
 
     /// Mean RTT across all cloud regions — the paper's "all clouds"
@@ -120,43 +137,75 @@ pub struct LatencyCampaign {
     pub results: Vec<UserResult>,
 }
 
+fn probe_all<R: Rng>(
+    rng: &mut R,
+    engine: &PingEngine,
+    model: &PathModel,
+    u: &VirtualUser,
+    dep: &Deployment,
+    class: TargetClass,
+    pings: usize,
+) -> Vec<TargetStats> {
+    dep.sites
+        .iter()
+        .filter_map(|s| {
+            let d = s.geo().distance_km(&u.geo);
+            let path = model.ue_path(rng, u.access, d, class);
+            measure(rng, engine, &path, pings)
+        })
+        .collect()
+}
+
 impl LatencyCampaign {
-    /// Run the campaign: every user probes every edge site and cloud
-    /// region.
+    /// Run the campaign serially: every user probes every edge site and
+    /// cloud region. Equivalent to [`LatencyCampaign::run_jobs`] with one
+    /// worker — and, because every user draws from their own RNG stream,
+    /// byte-identical to it at any worker count.
     pub fn run(
-        rng: &mut impl Rng,
+        seed: u64,
         users: &[VirtualUser],
         model: &PathModel,
         edge: &Deployment,
         cloud: &Deployment,
         cfg: &LatencyConfig,
     ) -> Self {
+        Self::run_jobs(seed, users, model, edge, cloud, cfg, 1)
+    }
+
+    /// Run the campaign over up to `jobs` worker threads.
+    ///
+    /// User `i` draws every probe from the
+    /// `(seed, entity_tag(LATENCY_USER, i))` stream and records metrics
+    /// into a scope of their own, which is replayed into the caller's
+    /// scope in user order — so results *and* enclosing metric sets are
+    /// independent of `jobs`.
+    pub fn run_jobs(
+        seed: u64,
+        users: &[VirtualUser],
+        model: &PathModel,
+        edge: &Deployment,
+        cloud: &Deployment,
+        cfg: &LatencyConfig,
+        jobs: usize,
+    ) -> Self {
         assert!(!users.is_empty(), "campaign needs users");
         let engine = PingEngine::with_fault(cfg.fault);
-        fn probe_all<R: Rng>(
-            rng: &mut R,
-            engine: &PingEngine,
-            model: &PathModel,
-            u: &VirtualUser,
-            dep: &Deployment,
-            class: TargetClass,
-            pings: usize,
-        ) -> Vec<TargetStats> {
-            dep.sites
-                .iter()
-                .filter_map(|s| {
-                    let d = s.geo().distance_km(&u.geo);
-                    let path = model.ue_path(rng, u.access, d, class);
-                    measure(rng, engine, &path, pings)
-                })
-                .collect()
-        }
-        let results = users
-            .iter()
-            .map(|u| UserResult {
-                user: u.clone(),
-                edge: probe_all(rng, &engine, model, u, edge, TargetClass::EdgeSite, cfg.pings_per_target),
-                cloud: probe_all(rng, &engine, model, u, cloud, TargetClass::CloudRegion, cfg.pings_per_target),
+        let per_user = crate::pool::fan_out(users.len(), jobs, |i| {
+            obs::scoped(|| {
+                let u = &users[i];
+                let mut rng = stream_rng(seed, entity_tag(domains::LATENCY_USER, i));
+                UserResult {
+                    user: u.clone(),
+                    edge: probe_all(&mut rng, &engine, model, u, edge, TargetClass::EdgeSite, cfg.pings_per_target),
+                    cloud: probe_all(&mut rng, &engine, model, u, cloud, TargetClass::CloudRegion, cfg.pings_per_target),
+                }
+            })
+        });
+        let results = per_user
+            .into_iter()
+            .map(|(r, set)| {
+                obs::record_set(&set);
+                r
             })
             .collect();
         LatencyCampaign { results }
@@ -271,19 +320,24 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn campaign(seed: u64, n_users: usize, n_sites: usize) -> LatencyCampaign {
+    fn campaign_jobs(seed: u64, n_users: usize, n_sites: usize, jobs: usize) -> LatencyCampaign {
         let mut rng = StdRng::seed_from_u64(seed);
         let edge = Deployment::nep(&mut rng, n_sites);
         let cloud = Deployment::alicloud();
         let users = recruit(&mut rng, n_users);
-        LatencyCampaign::run(
-            &mut rng,
+        LatencyCampaign::run_jobs(
+            seed,
             &users,
             &PathModel::paper_default(),
             &edge,
             &cloud,
             &LatencyConfig { pings_per_target: 30, fault: FaultInjector::none() },
+            jobs,
         )
+    }
+
+    fn campaign(seed: u64, n_users: usize, n_sites: usize) -> LatencyCampaign {
+        campaign_jobs(seed, n_users, n_sites, 1)
     }
 
     #[test]
@@ -364,5 +418,17 @@ mod tests {
         let a = campaign(7, 10, 40);
         let b = campaign(7, 10, 40);
         assert_eq!(a.results[0].edge, b.results[0].edge);
+    }
+
+    #[test]
+    fn worker_count_never_changes_results_or_metrics() {
+        use edgescope_obs as obs;
+        let run = |jobs: usize| obs::scoped(|| campaign_jobs(11, 12, 25, jobs));
+        let (serial, serial_metrics) = run(1);
+        for jobs in [2, 4] {
+            let (parallel, parallel_metrics) = run(jobs);
+            assert_eq!(serial.results, parallel.results, "jobs {jobs}");
+            assert_eq!(serial_metrics, parallel_metrics, "metric set at jobs {jobs}");
+        }
     }
 }

@@ -20,24 +20,36 @@
 //!   performance-dataset release): lossless TSV round-trip from which all
 //!   §3.1 aggregations recompute.
 //!
+//! ## Parallelism and determinism
+//! The latency, throughput, and inter-site campaigns are data-parallel
+//! over their entities (users / source sites): each entity draws from
+//! its own RNG stream (`edgescope_net::rng::stream_rng`) and records
+//! metrics into its own scope, and the `*_jobs` entry points fan
+//! entities out over crossbeam scoped threads, merging results in
+//! entity-index order — so output is byte-identical for every worker
+//! count.
+//!
 //! ## Observability
 //! Campaign loops report to `edgescope-obs` scoped metrics when a scope
 //! is active: `probe.ping_targets_measured` /
-//! `probe.ping_targets_unreachable`, `probe.iperf_sessions`,
-//! `probe.intersite_pairs`, `probe.records_serialized`. The counters
-//! draw no randomness, so results are identical with or without a
-//! scope. [`latency::LatencyConfig`] also carries a
-//! `FaultInjector` so robustness tests can degrade the campaign network
-//! without touching engine internals.
+//! `probe.ping_targets_unreachable` / `probe.ping_targets_low_sample`
+//! (targets dropped for returning fewer than two probes),
+//! `probe.iperf_sessions`, `probe.intersite_pairs`,
+//! `probe.records_serialized`. The counters draw no randomness, so
+//! results are identical with or without a scope.
+//! [`latency::LatencyConfig`] also carries a `FaultInjector` so
+//! robustness tests can degrade the campaign network without touching
+//! engine internals.
 
 pub mod intersite;
 pub mod latency;
+mod pool;
 pub mod records;
 pub mod throughput;
 pub mod user;
 
-pub use intersite::{intersite_scan, IntersiteScan};
+pub use intersite::{intersite_scan, intersite_scan_jobs, IntersiteScan};
 pub use latency::{LatencyCampaign, LatencyConfig, TargetStats, UserResult};
 pub use records::{campaign_from_tsv, campaign_to_tsv};
-pub use throughput::{throughput_campaign, ThroughputConfig, ThroughputRow};
+pub use throughput::{throughput_campaign, throughput_campaign_jobs, ThroughputConfig, ThroughputRow};
 pub use user::{recruit, VirtualUser};

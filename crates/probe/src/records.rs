@@ -133,9 +133,20 @@ pub fn campaign_from_tsv(tsv: &str) -> Result<LatencyCampaign, RecordError> {
             });
             current_uid = Some(uid);
         }
+        // `f64::parse` accepts "NaN"/"inf", which downstream aggregation
+        // (kth_edge sorts, CDF pipelines) must never see — reject them at
+        // the artefact boundary like any other malformed field.
+        let finite = |what: &'static str, s: &str| -> Result<f64, RecordError> {
+            let v: f64 = s.parse().map_err(|_| err(what))?;
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(err(what))
+            }
+        };
         let stats = TargetStats {
-            mean_rtt_ms: f[7].parse().map_err(|_| err("mean_rtt"))?,
-            cv: f[8].parse().map_err(|_| err("cv"))?,
+            mean_rtt_ms: finite("mean_rtt", f[7])?,
+            cv: finite("cv", f[8])?,
             hops: f[9].parse().map_err(|_| err("hops"))?,
             shares: (
                 f[10].parse().map_err(|_| err("share1"))?,
@@ -143,7 +154,7 @@ pub fn campaign_from_tsv(tsv: &str) -> Result<LatencyCampaign, RecordError> {
                 f[12].parse().map_err(|_| err("share3"))?,
                 f[13].parse().map_err(|_| err("share_rest"))?,
             ),
-            distance_km: f[14].parse().map_err(|_| err("distance"))?,
+            distance_km: finite("distance", f[14])?,
         };
         let result = results.last_mut().expect("pushed above");
         match f[5] {
@@ -171,7 +182,7 @@ mod tests {
         let cloud = Deployment::alicloud();
         let users = recruit(&mut rng, 12);
         LatencyCampaign::run(
-            &mut rng,
+            seed,
             &users,
             &PathModel::paper_default(),
             &edge,
@@ -205,6 +216,58 @@ mod tests {
         assert_eq!(a, b, "fig2a identical from artefact");
         assert_eq!(median(&a.nearest_edge), median(&b.nearest_edge));
         assert_eq!(c.fig3(), parsed.fig3());
+    }
+
+    #[test]
+    fn wired_users_roundtrip() {
+        // `recruit` never produces wired participants (the paper's crowd
+        // is WiFi/LTE/5G), but the artefact format must still carry them
+        // — the throughput campaign and hand-built cohorts use wired.
+        let mut rng = StdRng::seed_from_u64(4);
+        let edge = Deployment::nep(&mut rng, 10);
+        let cloud = Deployment::alicloud();
+        let users: Vec<VirtualUser> = recruit(&mut rng, 3)
+            .into_iter()
+            .map(|mut u| {
+                u.access = AccessNetwork::Wired;
+                u
+            })
+            .collect();
+        let c = LatencyCampaign::run(
+            4,
+            &users,
+            &PathModel::paper_default(),
+            &edge,
+            &cloud,
+            &LatencyConfig { pings_per_target: 10, ..LatencyConfig::default() },
+        );
+        let tsv = campaign_to_tsv(&c);
+        assert!(tsv.contains("\twired\t"), "wired label serialized");
+        let parsed = campaign_from_tsv(&tsv).expect("parse");
+        assert_eq!(parsed.results.len(), 3);
+        for (a, b) in parsed.results.iter().zip(&c.results) {
+            assert_eq!(a.user.access, AccessNetwork::Wired);
+            assert_eq!(a.edge, b.edge);
+            assert_eq!(a.cloud, b.cloud);
+        }
+    }
+
+    #[test]
+    fn non_finite_fields_rejected() {
+        let c = campaign(5);
+        let tsv = campaign_to_tsv(&c);
+        let lines: Vec<&str> = tsv.lines().collect();
+        // Column 7 = mean_rtt_ms, 8 = cv, 14 = distance_km.
+        for col in [7usize, 8, 14] {
+            for bad in ["NaN", "inf", "-inf"] {
+                let mut f: Vec<&str> = lines[1].split('\t').collect();
+                f[col] = bad;
+                let row = f.join("\t");
+                let doctored = [lines[0], &row].join("\n");
+                let res = campaign_from_tsv(&doctored);
+                assert!(res.is_err(), "column {col} value {bad} must be rejected");
+            }
+        }
     }
 
     #[test]

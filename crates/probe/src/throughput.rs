@@ -5,13 +5,19 @@
 //! directions. The output is Fig. 5's scatter: per test a (distance,
 //! mean Mbps) point, labelled by access network, plus the Pearson
 //! correlation per access/direction.
+//!
+//! The campaign is data-parallel over users: each user draws from their
+//! own RNG stream (`stream_rng(seed, entity_tag(THROUGHPUT_USER, i))`),
+//! so [`throughput_campaign_jobs`] is byte-identical at every worker
+//! count.
 
 use crate::user::VirtualUser;
 use edgescope_net::access::AccessNetwork;
 use edgescope_net::path::{PathModel, TargetClass};
+use edgescope_net::rng::{domains, entity_tag, stream_rng};
 use edgescope_net::tcp::ThroughputModel;
+use edgescope_obs as obs;
 use edgescope_platform::deployment::Deployment;
-use rand::Rng;
 
 /// One iperf test result.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,36 +63,65 @@ fn distinct_city_sites(dep: &Deployment, n: usize) -> Vec<usize> {
     out
 }
 
-/// Run the campaign: every user tests every chosen VM in both directions.
+/// Run the campaign serially: every user tests every chosen VM in both
+/// directions. Equivalent to [`throughput_campaign_jobs`] with one
+/// worker.
 pub fn throughput_campaign(
-    rng: &mut impl Rng,
+    seed: u64,
     users: &[VirtualUser],
     model: &PathModel,
     tcp: &ThroughputModel,
     edge: &Deployment,
     cfg: &ThroughputConfig,
 ) -> Vec<ThroughputRow> {
+    throughput_campaign_jobs(seed, users, model, tcp, edge, cfg, 1)
+}
+
+/// Run the campaign over up to `jobs` worker threads. User `i` draws
+/// radio conditions, paths, and iPerf runs from the
+/// `(seed, entity_tag(THROUGHPUT_USER, i))` stream, so rows (in user ×
+/// VM order) and enclosing metric sets are independent of `jobs`.
+pub fn throughput_campaign_jobs(
+    seed: u64,
+    users: &[VirtualUser],
+    model: &PathModel,
+    tcp: &ThroughputModel,
+    edge: &Deployment,
+    cfg: &ThroughputConfig,
+    jobs: usize,
+) -> Vec<ThroughputRow> {
     assert!(!users.is_empty(), "campaign needs users");
     let vm_sites = distinct_city_sites(edge, cfg.n_vms);
     assert!(!vm_sites.is_empty(), "no VM sites available");
+    let per_user = crate::pool::fan_out(users.len(), jobs, |i| {
+        obs::scoped(|| {
+            let u = &users[i];
+            let mut rng = stream_rng(seed, entity_tag(domains::THROUGHPUT_USER, i));
+            // The user's radio conditions are drawn once per session.
+            let down_cap = u.access.sample_downlink_mbps(&mut rng);
+            let up_cap = u.access.sample_uplink_mbps(&mut rng);
+            vm_sites
+                .iter()
+                .map(|&si| {
+                    obs::counter_inc("probe.iperf_sessions");
+                    let d = edge.sites[si].geo().distance_km(&u.geo);
+                    let path = model.ue_path(&mut rng, u.access, d, TargetClass::EdgeSite);
+                    let down = tcp.iperf(&mut rng, &path, down_cap, cfg.secs);
+                    let up = tcp.iperf(&mut rng, &path, up_cap, cfg.secs);
+                    ThroughputRow {
+                        access: u.access,
+                        distance_km: d,
+                        down_mbps: down.mean_mbps,
+                        up_mbps: up.mean_mbps,
+                    }
+                })
+                .collect::<Vec<ThroughputRow>>()
+        })
+    });
     let mut rows = Vec::with_capacity(users.len() * vm_sites.len());
-    for u in users {
-        // The user's radio conditions are drawn once per session.
-        let down_cap = u.access.sample_downlink_mbps(rng);
-        let up_cap = u.access.sample_uplink_mbps(rng);
-        for &si in &vm_sites {
-            edgescope_obs::counter_inc("probe.iperf_sessions");
-            let d = edge.sites[si].geo().distance_km(&u.geo);
-            let path = model.ue_path(rng, u.access, d, TargetClass::EdgeSite);
-            let down = tcp.iperf(rng, &path, down_cap, cfg.secs);
-            let up = tcp.iperf(rng, &path, up_cap, cfg.secs);
-            rows.push(ThroughputRow {
-                access: u.access,
-                distance_km: d,
-                down_mbps: down.mean_mbps,
-                up_mbps: up.mean_mbps,
-            });
-        }
+    for (user_rows, set) in per_user {
+        obs::record_set(&set);
+        rows.extend(user_rows);
     }
     rows
 }
@@ -138,7 +173,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let edge = Deployment::nep(&mut rng, 200);
         throughput_campaign(
-            &mut rng,
+            seed,
             &users_on(access),
             &PathModel::paper_default(),
             &ThroughputModel::paper_default(),
@@ -151,6 +186,31 @@ mod tests {
     fn shape_25_users_20_vms() {
         let rows = run(AccessNetwork::Wifi, 1);
         assert_eq!(rows.len(), 25 * 20);
+    }
+
+    #[test]
+    fn worker_count_never_changes_rows_or_metrics() {
+        use edgescope_obs as obs;
+        let run = |jobs: usize| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let edge = Deployment::nep(&mut rng, 200);
+            obs::scoped(|| {
+                throughput_campaign_jobs(
+                    9,
+                    &users_on(AccessNetwork::Wifi),
+                    &PathModel::paper_default(),
+                    &ThroughputModel::paper_default(),
+                    &edge,
+                    &ThroughputConfig::default(),
+                    jobs,
+                )
+            })
+        };
+        let (serial, serial_metrics) = run(1);
+        let (parallel, parallel_metrics) = run(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_metrics, parallel_metrics);
+        assert_eq!(serial_metrics.counter("probe.iperf_sessions"), 25 * 20);
     }
 
     #[test]

@@ -18,18 +18,26 @@ const PINGS: usize = 10;
 
 /// Run one campaign under `fault` inside a metric scope.
 fn run_with(fault: FaultInjector, seed: u64) -> (LatencyCampaign, obs::MetricSet) {
+    run_with_pings(fault, seed, PINGS)
+}
+
+fn run_with_pings(
+    fault: FaultInjector,
+    seed: u64,
+    pings: usize,
+) -> (LatencyCampaign, obs::MetricSet) {
     obs::scoped(|| {
         let mut rng = StdRng::seed_from_u64(seed);
         let edge = Deployment::nep(&mut rng, EDGE_SITES);
         let cloud = Deployment::alicloud();
         let users = recruit(&mut rng, USERS);
         LatencyCampaign::run(
-            &mut rng,
+            seed,
             &users,
             &PathModel::paper_default(),
             &edge,
             &cloud,
-            &LatencyConfig { pings_per_target: PINGS, fault },
+            &LatencyConfig { pings_per_target: pings, fault },
         )
     })
 }
@@ -77,6 +85,43 @@ fn hostile_network_degrades_gracefully() {
         expected,
         "sent = observed + lost to path + dropped by injector"
     );
+}
+
+#[test]
+fn single_probe_targets_are_dropped_not_reported_stable() {
+    // Regression: a target whose probe run returns exactly one sample has
+    // no dispersion estimate. It used to be reported with CV = 0 —
+    // "perfectly stable" — which biased the Fig. 2(b) CDF downward under
+    // loss. Such targets must now be dropped and accounted separately.
+    let (campaign, set) = run_with_pings(FaultInjector::none(), 14, 1);
+    let total = (USERS * (EDGE_SITES + CLOUD_REGIONS)) as u64;
+    assert_eq!(n_targets(&campaign), 0, "one returned probe per target, so all are dropped");
+    assert_eq!(set.counter("probe.ping_targets_low_sample"), total);
+    assert_eq!(set.counter("probe.ping_targets_measured"), 0);
+    assert_eq!(set.counter("probe.ping_targets_unreachable"), 0);
+}
+
+#[test]
+fn every_target_is_accounted_under_hostile_fault() {
+    // measured + unreachable + low-sample partitions the target set, at
+    // every loss level.
+    let total = (USERS * (EDGE_SITES + CLOUD_REGIONS)) as u64;
+    for (fault, seed) in [
+        (FaultInjector::none(), 15),
+        (FaultInjector::hostile(), 16),
+        (FaultInjector { drop_chance: 0.9, ..FaultInjector::hostile() }, 17),
+    ] {
+        let (campaign, set) = run_with(fault, seed);
+        assert_eq!(
+            set.counter("probe.ping_targets_measured")
+                + set.counter("probe.ping_targets_unreachable")
+                + set.counter("probe.ping_targets_low_sample"),
+            total,
+            "target accounting at drop_chance {}",
+            fault.drop_chance
+        );
+        assert_eq!(set.counter("probe.ping_targets_measured"), n_targets(&campaign) as u64);
+    }
 }
 
 #[test]

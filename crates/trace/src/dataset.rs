@@ -8,9 +8,10 @@
 //! VMs' CPU, site CPU = mean over machines, bandwidth = sums).
 
 use crate::flavor::{Flavor, FlavorParams};
+use crate::pool::fan_out;
 use crate::population::{generate_cloud, generate_nep, VmRecord};
 use crate::series::{TraceConfig, VmProfile};
-use edgescope_net::rng::log_normal;
+use edgescope_net::rng::{domains, entity_tag, log_normal, stream_rng};
 use edgescope_platform::deployment::Deployment;
 use edgescope_platform::ids::{AppId, ServerId, SiteId};
 use rand::rngs::StdRng;
@@ -58,11 +59,27 @@ impl TraceDataset {
     /// Generate an NEP trace: builds a deployment of `n_sites`, places
     /// `n_apps` apps through the §2 policy, and synthesizes series.
     /// Returns the dataset together with the (now populated) deployment.
+    /// Equivalent to [`TraceDataset::generate_nep_jobs`] with one worker.
     pub fn generate_nep(
         seed: u64,
         n_sites: usize,
         n_apps: usize,
         config: TraceConfig,
+    ) -> (Self, Deployment) {
+        Self::generate_nep_jobs(seed, n_sites, n_apps, config, 1)
+    }
+
+    /// Generate an NEP trace with series synthesis fanned out over up to
+    /// `jobs` worker threads. The deployment, placement, and VM table
+    /// draw from the same sequence as the serial path, and each VM's
+    /// series comes from its own RNG stream, so the dataset is
+    /// byte-identical for every `jobs` value.
+    pub fn generate_nep_jobs(
+        seed: u64,
+        n_sites: usize,
+        n_apps: usize,
+        config: TraceConfig,
+        jobs: usize,
     ) -> (Self, Deployment) {
         let params = FlavorParams::edge_nep();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -71,7 +88,7 @@ impl TraceDataset {
         // deployment keeps the paper's 10–180 range.
         let mut deployment = Deployment::nep_custom(&mut rng, n_sites, 10, 40);
         let records = generate_nep(&mut rng, &params, &mut deployment, n_apps);
-        let series = Self::make_series(&mut rng, &params, &records, &config);
+        let series = Self::make_series(seed, &params, &records, &config, jobs);
         (
             TraceDataset { flavor: Flavor::EdgeNep, config, records, series },
             deployment,
@@ -79,43 +96,67 @@ impl TraceDataset {
     }
 
     /// Generate an Azure-like cloud trace over `n_regions` regions.
+    /// Equivalent to [`TraceDataset::generate_azure_jobs`] with one
+    /// worker.
     pub fn generate_azure(seed: u64, n_regions: u32, n_apps: usize, config: TraceConfig) -> Self {
+        Self::generate_azure_jobs(seed, n_regions, n_apps, config, 1)
+    }
+
+    /// Generate an Azure-like cloud trace with series synthesis fanned
+    /// out over up to `jobs` worker threads (see
+    /// [`TraceDataset::generate_nep_jobs`] for the determinism contract).
+    pub fn generate_azure_jobs(
+        seed: u64,
+        n_regions: u32,
+        n_apps: usize,
+        config: TraceConfig,
+        jobs: usize,
+    ) -> Self {
         let params = FlavorParams::cloud_azure();
         let mut rng = StdRng::seed_from_u64(seed);
         let records = generate_cloud(&mut rng, &params, n_regions, n_apps);
-        let series = Self::make_series(&mut rng, &params, &records, &config);
+        let series = Self::make_series(seed, &params, &records, &config, jobs);
         TraceDataset { flavor: Flavor::CloudAzure, config, records, series }
     }
 
     fn make_series(
-        rng: &mut StdRng,
+        seed: u64,
         params: &FlavorParams,
         records: &[VmRecord],
         config: &TraceConfig,
+        jobs: usize,
     ) -> Vec<VmSeries> {
         // Per-app temporal identity: base utilization and within-app
         // spread are app-level draws (an app's VMs resemble each other).
+        // They come from a single dedicated stream, drawn serially in
+        // record first-appearance order, so the app table is independent
+        // of how the per-VM work is split below.
+        let mut app_rng = stream_rng(seed, entity_tag(domains::TRACE_APP, 0));
         let mut app_base: BTreeMap<AppId, (f64, f64)> = BTreeMap::new();
         for r in records {
-            app_base
-                .entry(r.app)
-                .or_insert_with(|| (draw_app_base_util(rng, params), draw_within_sigma(rng, params)));
+            app_base.entry(r.app).or_insert_with(|| {
+                (draw_app_base_util(&mut app_rng, params), draw_within_sigma(&mut app_rng, params))
+            });
         }
-        let series: Vec<VmSeries> = records
-            .iter()
-            .map(|r| {
-                let (base, sigma) = app_base[&r.app];
-                // Mean-preserving within-app spread.
-                let factor = log_normal(rng, -sigma * sigma / 2.0, sigma);
-                let mean_util = (base * factor).clamp(0.1, 95.0);
-                let profile =
-                    VmProfile::draw(rng, params, r.category, mean_util, r.bandwidth_mbps);
-                VmSeries {
-                    cpu_util_pct: profile.cpu_series(rng, config),
-                    bw_mbps: profile.bw_series(rng, config),
-                }
-            })
-            .collect();
+        // Each VM's series draws from its own stream, so VM `i`'s series
+        // is a function of `(seed, i)` alone and the fan-out can run at
+        // any worker count.
+        let series = fan_out(records.len(), jobs, |i| {
+            let r = &records[i];
+            let mut rng = stream_rng(seed, entity_tag(domains::TRACE_VM, i));
+            let (base, sigma) = app_base[&r.app];
+            // Mean-preserving within-app spread.
+            let factor = log_normal(&mut rng, -sigma * sigma / 2.0, sigma);
+            let mean_util = (base * factor).clamp(0.1, 95.0);
+            let profile =
+                VmProfile::draw(&mut rng, params, r.category, mean_util, r.bandwidth_mbps);
+            VmSeries {
+                cpu_util_pct: profile.cpu_series(&mut rng, config),
+                bw_mbps: profile.bw_series(&mut rng, config),
+            }
+        });
+        // Totals are order-free, so they are recorded once on the caller
+        // thread rather than inside the fan-out.
         edgescope_obs::counter_add("trace.vms_generated", series.len() as u64);
         edgescope_obs::counter_add(
             "trace.cpu_samples",
@@ -402,5 +443,24 @@ mod tests {
         let (b, _) = TraceDataset::generate_nep(9, 20, 10, small_cfg());
         assert_eq!(a.records, b.records);
         assert_eq!(a.series[0], b.series[0]);
+    }
+
+    #[test]
+    fn worker_count_never_changes_datasets_or_metrics() {
+        use edgescope_obs as obs;
+        let run_nep = |jobs: usize| {
+            obs::scoped(|| TraceDataset::generate_nep_jobs(10, 20, 10, small_cfg(), jobs))
+        };
+        let ((serial, _), serial_metrics) = run_nep(1);
+        for jobs in [2, 4] {
+            let ((parallel, _), parallel_metrics) = run_nep(jobs);
+            assert_eq!(serial.records, parallel.records, "records at jobs {jobs}");
+            assert_eq!(serial.series, parallel.series, "series at jobs {jobs}");
+            assert_eq!(serial_metrics, parallel_metrics, "metrics at jobs {jobs}");
+        }
+        let az1 = TraceDataset::generate_azure_jobs(11, 5, 20, small_cfg(), 1);
+        let az4 = TraceDataset::generate_azure_jobs(11, 5, 20, small_cfg(), 4);
+        assert_eq!(az1.records, az4.records);
+        assert_eq!(az1.series, az4.series);
     }
 }

@@ -34,6 +34,15 @@
 //! * [`io`] — TSV (VM table) and length-prefixed binary (series)
 //!   serialization.
 //!
+//! ## Parallelism and determinism
+//! Series synthesis is data-parallel over VMs: VM `i`'s series draws
+//! from the `(seed, entity_tag(TRACE_VM, i))` stream
+//! (`edgescope_net::rng::stream_rng`), and the app-level base draws come
+//! from a dedicated `TRACE_APP` stream — so
+//! [`dataset::TraceDataset::generate_nep_jobs`] /
+//! [`dataset::TraceDataset::generate_azure_jobs`] produce byte-identical
+//! datasets at every worker count.
+//!
 //! ## Omitted
 //! Kernel/image metadata from the schema (os type, image id) is carried as
 //! opaque small integers — nothing in the paper's analysis reads more than
@@ -51,6 +60,7 @@ pub mod app;
 pub mod dataset;
 pub mod flavor;
 pub mod io;
+mod pool;
 pub mod population;
 pub mod series;
 pub mod validate;

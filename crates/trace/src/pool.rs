@@ -1,0 +1,63 @@
+//! Deterministic entity fan-out for series synthesis — the same shape as
+//! the pool in `edgescope-probe` (the two substrate crates deliberately
+//! do not depend on each other, so each carries its own copy of this
+//! ~30-line helper).
+
+/// Run `f(i)` for every `i in 0..n` over up to `jobs` crossbeam scoped
+/// workers and collect results in index order. `f` must be
+/// index-deterministic (per-entity RNG streams guarantee this), which
+/// makes the output independent of the worker count. With `jobs <= 1` or
+/// fewer than two entities this is a plain serial map.
+pub(crate) fn fan_out<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|sc| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                sc.spawn(move |_| {
+                    (w..n)
+                        .step_by(workers)
+                        .map(|i| (i, f(i)))
+                        .collect::<Vec<(usize, T)>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("series worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    })
+    .expect("series worker pool panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every entity index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let serial = fan_out(23, 1, |i| i as u64 * 3);
+        for jobs in [2, 4, 32] {
+            assert_eq!(fan_out(23, jobs, |i| i as u64 * 3), serial, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(fan_out(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(fan_out(1, 0, |i| i + 5), vec![5]);
+    }
+}

@@ -29,7 +29,7 @@ fn main() {
 
     // --- latency ---------------------------------------------------------
     let campaign = LatencyCampaign::run(
-        &mut rng,
+        99,
         &users,
         &scenario.path_model,
         &scenario.nep,
@@ -57,7 +57,7 @@ fn main() {
 
     // --- throughput --------------------------------------------------------
     let rows = throughput_campaign(
-        &mut rng,
+        100,
         &users[..25.min(users.len())],
         &scenario.path_model,
         &scenario.tcp_model,
@@ -79,7 +79,7 @@ fn main() {
     }
 
     // --- inter-site --------------------------------------------------------
-    let scan = intersite_scan(&mut rng, &scenario.path_model, &scenario.nep, 5);
+    let scan = intersite_scan(101, &scenario.path_model, &scenario.nep, 5);
     let (n5, n10, n20) = scan.mean_neighbours();
     println!("inter-site: {:.1}/{:.1}/{:.1} neighbours within 5/10/20 ms", n5, n10, n20);
 

@@ -28,7 +28,7 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let users = recruit(&mut rng, 60);
     let campaign = LatencyCampaign::run(
-        &mut rng,
+        1,
         &users,
         &scenario.path_model,
         &scenario.nep,

@@ -59,6 +59,74 @@ fn parallel_execution_matches_serial_byte_for_byte() {
 }
 
 #[test]
+fn study_builds_are_worker_count_invariant() {
+    // The intra-study data-parallel gate: each study's artefacts must be
+    // byte-identical at every `--jobs` value, because every entity (user,
+    // VM series, source site) draws from its own RNG stream regardless of
+    // which worker thread runs it.
+    use edgescope::experiments::latency_study::LatencyStudy;
+    use edgescope::experiments::workload_study::WorkloadStudy;
+    use edgescope::probe::records::campaign_to_tsv;
+    use edgescope::trace::io::{series_to_bytes, vm_table_to_tsv};
+
+    let scenario = Scenario::new(Scale::Quick, 7);
+
+    let latency_tsv =
+        |jobs| campaign_to_tsv(&LatencyStudy::run_jobs(&scenario, jobs).campaign);
+    let serial_tsv = latency_tsv(1);
+    for jobs in [2, 4, 16] {
+        assert_eq!(serial_tsv, latency_tsv(jobs), "latency TSV at jobs={jobs}");
+    }
+
+    let workload = |jobs| {
+        let w = WorkloadStudy::run_jobs(&scenario, jobs);
+        (
+            vm_table_to_tsv(&w.nep.records),
+            series_to_bytes(&w.nep.series),
+            vm_table_to_tsv(&w.azure.records),
+            series_to_bytes(&w.azure.series),
+        )
+    };
+    assert_eq!(workload(1), workload(4), "trace artefacts at jobs=4");
+}
+
+#[test]
+fn campaign_primitives_are_worker_count_invariant() {
+    // Same property one layer down, against the probe-crate entry points
+    // the studies wrap: throughput rows and the inter-site scan.
+    use edgescope::probe::intersite::{intersite_scan, intersite_scan_jobs};
+    use edgescope::probe::throughput::{
+        throughput_campaign, throughput_campaign_jobs, ThroughputConfig,
+    };
+
+    let scenario = Scenario::new(Scale::Quick, 13);
+    let users = &scenario.users[..25.min(scenario.users.len())];
+    let serial_rows = throughput_campaign(
+        5,
+        users,
+        &scenario.path_model,
+        &scenario.tcp_model,
+        &scenario.nep,
+        &ThroughputConfig::default(),
+    );
+    let parallel_rows = throughput_campaign_jobs(
+        5,
+        users,
+        &scenario.path_model,
+        &scenario.tcp_model,
+        &scenario.nep,
+        &ThroughputConfig::default(),
+        4,
+    );
+    assert_eq!(serial_rows, parallel_rows, "throughput rows at jobs=4");
+
+    let serial = intersite_scan(5, &scenario.path_model, &scenario.nep, 5);
+    let parallel = intersite_scan_jobs(5, &scenario.path_model, &scenario.nep, 5, 4);
+    assert_eq!(serial.points, parallel.points, "inter-site points at jobs=4");
+    assert_eq!(serial.neighbours, parallel.neighbours, "inter-site neighbours at jobs=4");
+}
+
+#[test]
 fn logging_does_not_perturb_outputs() {
     // `--log json` writes spans to stderr; renders, CSVs and metrics must
     // stay byte-identical to a silent run.
