@@ -59,7 +59,9 @@ where
         }
         stats.push(statistic(&buf));
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: same convention as stats::percentile — a NaN statistic
+    // sorts above +inf instead of panicking the whole resample loop.
+    stats.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     let lo = crate::stats::percentile_of_sorted(&stats, 100.0 * alpha);
     let hi = crate::stats::percentile_of_sorted(&stats, 100.0 * (1.0 - alpha));

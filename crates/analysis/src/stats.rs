@@ -57,11 +57,17 @@ pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
 /// Uses the "linear interpolation between closest ranks" definition
 /// (NumPy's default). Panics on an empty slice — a percentile of nothing is
 /// meaningless and always indicates an upstream bug.
+///
+/// Sorting uses `f64::total_cmp`, so a NaN in the input no longer panics
+/// mid-sort: NaNs order after `+inf` (IEEE 754 totalOrder) and simply
+/// land at the top ranks. Campaign data is NaN-free by construction; this
+/// keeps a stray NaN from aborting a whole report instead of showing up
+/// visibly in the high percentiles.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile p out of range: {p}");
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     percentile_of_sorted(&sorted, p)
 }
 
@@ -128,11 +134,13 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarize a sample. Panics on an empty slice.
+    /// Summarize a sample. Panics on an empty slice. Sorts with
+    /// `f64::total_cmp` (NaNs rank above `+inf` rather than panicking —
+    /// see [`percentile`]).
     pub fn of(xs: &[f64]) -> Self {
         assert!(!xs.is_empty(), "Summary::of empty slice");
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
+        sorted.sort_by(f64::total_cmp);
         Summary {
             count: sorted.len(),
             mean: mean(&sorted),
@@ -190,6 +198,18 @@ mod tests {
     }
 
     #[test]
+    fn empty_slice_statistics_are_zero_not_nan() {
+        // Regression: every statistic defined on an empty slice must
+        // return exactly 0.0 — a NaN here would silently poison every
+        // downstream aggregate instead of failing loudly.
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(sample_variance(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[3.0]), 0.0);
+    }
+
+    #[test]
     fn cv_basic() {
         let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
         assert!((coefficient_of_variation(&xs) - 2.0 / 5.0).abs() < 1e-12);
@@ -219,6 +239,17 @@ mod tests {
     #[test]
     fn percentile_single() {
         assert_eq!(percentile(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_via_total_order() {
+        // total_cmp ranks NaN above +inf: low percentiles of a
+        // NaN-polluted sample stay finite and correct, and the NaN
+        // surfaces only at the top — instead of the old mid-sort panic.
+        let xs = [30.0, f64::NAN, 10.0, 20.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+        assert!(percentile(&xs, 100.0).is_nan());
     }
 
     #[test]

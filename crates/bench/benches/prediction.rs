@@ -2,17 +2,19 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use edgescope_bench::bench_scenario;
-use edgescope_core::experiments::workload_study::WorkloadStudy;
 use edgescope_core::experiments::fig14;
+use edgescope_core::experiments::prediction_study::PredictionStudy;
+use edgescope_core::experiments::workload_study::WorkloadStudy;
 use edgescope_core::predict::holt_winters::HoltWinters;
 use edgescope_core::predict::lstm::{Lstm, LstmConfig};
 
 fn bench_fig14(c: &mut Criterion) {
     let scenario = bench_scenario();
-    let study = WorkloadStudy::run(&scenario);
+    let wl = WorkloadStudy::run(&scenario);
+    let study = PredictionStudy::run(&scenario, &wl);
     let mut g = c.benchmark_group("fig14");
     g.sample_size(10);
-    g.bench_function("regenerate", |b| b.iter(|| fig14::run(&scenario, &study)));
+    g.bench_function("regenerate", |b| b.iter(|| fig14::run(&study)));
     g.finish();
 }
 

@@ -1,0 +1,194 @@
+//! Regenerates `BENCH_predict.json`: wall-clock of the per-VM forecaster
+//! trainings, serial vs. fanned out, plus the speedup ratio.
+//!
+//! ```text
+//! cargo run --release -p edgescope-bench --bin predict-baseline -- \
+//!     [--out FILE] [--jobs N] [--iters N] [--check MIN_SPEEDUP]
+//! ```
+//!
+//! Companion to `study-parallel-baseline`: the same committable-JSON
+//! scheme (schema `edgescope-bench-predict/1`), applied to the
+//! `predict::eval` `*_jobs` fan-out the prediction study is built from.
+//! Holt-Winters and the LSTM are timed separately because their
+//! per-series cost profiles differ by an order of magnitude — the LSTM
+//! row is the one that pays for the campaign, so `--check MIN_SPEEDUP`
+//! gates on it; CI runs it with `1.5`.
+
+use std::time::Instant;
+
+use edgescope_bench::{bench_scenario, BENCH_SEED};
+use edgescope_core::experiments::prediction_study::{cohort, TAG};
+use edgescope_core::experiments::workload_study::WorkloadStudy;
+use edgescope_core::predict::eval::{evaluate_holt_winters_jobs, evaluate_lstm_jobs};
+use edgescope_core::predict::lstm::LstmConfig;
+use edgescope_core::predict::window::Aggregation;
+
+/// Cohort size: wide enough that 4 workers all get series, small enough
+/// that `--iters 5` finishes in seconds at Quick scale.
+const COHORT_VMS: usize = 8;
+
+/// Median wall-clock milliseconds of `iters` runs of `f`.
+fn median_ms<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct ModelRow {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl ModelRow {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    \"{}\": {{ \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3} }}",
+            self.name,
+            self.serial_ms,
+            self.parallel_ms,
+            self.speedup()
+        )
+    }
+}
+
+fn measure(series: &[Vec<f64>], sphh: usize, cfg: &LstmConfig, jobs: usize, iters: usize) -> Vec<ModelRow> {
+    vec![
+        ModelRow {
+            name: "holt_winters",
+            serial_ms: median_ms(iters, || {
+                evaluate_holt_winters_jobs(series, sphh, Aggregation::Mean, 1);
+            }),
+            parallel_ms: median_ms(iters, || {
+                evaluate_holt_winters_jobs(series, sphh, Aggregation::Mean, jobs);
+            }),
+        },
+        ModelRow {
+            name: "lstm",
+            serial_ms: median_ms(iters, || {
+                evaluate_lstm_jobs(series, sphh, Aggregation::Mean, cfg, 1);
+            }),
+            parallel_ms: median_ms(iters, || {
+                evaluate_lstm_jobs(series, sphh, Aggregation::Mean, cfg, jobs);
+            }),
+        },
+    ]
+}
+
+fn render(rows: &[ModelRow], jobs: usize, iters: usize) -> String {
+    let models: Vec<String> = rows.iter().map(ModelRow::json).collect();
+    format!(
+        "{{\n  \"schema\": \"edgescope-bench-predict/1\",\n  \"status\": \"measured\",\n  \"scale\": \"quick\",\n  \"seed\": {BENCH_SEED},\n  \"cohort_vms\": {COHORT_VMS},\n  \"workers\": {jobs},\n  \"iterations\": {iters},\n  \"models\": {{\n{}\n  }}\n}}\n",
+        models.join(",\n")
+    )
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut jobs = 4usize;
+    let mut iters = 5usize;
+    let mut check: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--out" => out = Some(value("--out")),
+            "--jobs" => {
+                jobs = value("--jobs").parse().ok().filter(|&j: &usize| j > 0).unwrap_or_else(
+                    || {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    },
+                )
+            }
+            "--iters" => {
+                iters = value("--iters").parse().ok().filter(|&i: &usize| i > 0).unwrap_or_else(
+                    || {
+                        eprintln!("--iters needs a positive integer");
+                        std::process::exit(2);
+                    },
+                )
+            }
+            "--check" => {
+                check = Some(value("--check").parse().unwrap_or_else(|_| {
+                    eprintln!("--check needs a number");
+                    std::process::exit(2);
+                }))
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: predict-baseline [--out FILE] [--jobs N] [--iters N] [--check MIN_SPEEDUP]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scenario = bench_scenario();
+    let wl = WorkloadStudy::run(&scenario);
+    let series = cohort(&wl.nep, COHORT_VMS);
+    let sphh = wl.nep.config.cpu_samples_per_half_hour();
+    let cfg = LstmConfig {
+        epochs: 2,
+        stride: 3,
+        lookback: 12,
+        seed: scenario.stream_seed(TAG),
+        ..Default::default()
+    };
+    // One warm-up training so first-touch costs (page faults, lazy
+    // statics) don't land in the serial column.
+    evaluate_lstm_jobs(&series, sphh, Aggregation::Mean, &cfg, 1);
+
+    let rows = measure(&series, sphh, &cfg, jobs, iters);
+    for r in &rows {
+        println!(
+            "{}: serial {:.1} ms, {} workers {:.1} ms, speedup {:.2}x",
+            r.name,
+            r.serial_ms,
+            jobs,
+            r.parallel_ms,
+            r.speedup()
+        );
+    }
+
+    let doc = render(&rows, jobs, iters);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+
+    if let Some(min) = check {
+        let lstm = rows.iter().find(|r| r.name == "lstm").expect("lstm row");
+        if lstm.speedup() < min {
+            eprintln!(
+                "FAIL: lstm training speedup {:.2}x below the {min:.2}x floor",
+                lstm.speedup()
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: lstm training speedup >= {min:.2}x");
+    }
+}

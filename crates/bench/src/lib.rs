@@ -14,15 +14,18 @@
 //! | `billing` | Table 1, Table 3 |
 //! | `executor` | the full `run_all` registry, serial vs. parallel |
 //! | `study_parallel` | the shared study builds, serial vs. intra-study fan-out |
+//! | `predict_parallel` | the per-VM forecaster trainings, serial vs. fan-out |
 //!
 //! Each criterion group is named after its artefact (`fig2a`, `table3`, …)
 //! so `cargo bench -p edgescope-bench fig2a` regenerates exactly one.
 //! Benchmarks run at reduced scale; the absolute regeneration numbers for
 //! EXPERIMENTS.md come from the `reproduce` binary at `EDGESCOPE_SCALE=paper`.
 //!
-//! The `study-parallel-baseline` binary (no criterion harness) distils the
-//! `study_parallel` comparison into the committed `BENCH_study_parallel.json`
-//! at the repo root — the start of the perf trajectory ROADMAP.md asks for.
+//! The `study-parallel-baseline` and `predict-baseline` binaries (no
+//! criterion harness) distil the `study_parallel` and `predict_parallel`
+//! comparisons into the committed `BENCH_study_parallel.json` and
+//! `BENCH_predict.json` at the repo root — the perf trajectory ROADMAP.md
+//! asks for.
 
 /// The fixed seed all benches use, so criterion compares like with like.
 pub const BENCH_SEED: u64 = 0xbe7c;

@@ -11,9 +11,13 @@
 //!
 //! The shared study builds are themselves data-parallel: the executor
 //! passes its `--jobs` into [`LatencyStudy::run_jobs`] /
-//! [`WorkloadStudy::run_jobs`], whose campaign loops give every entity
-//! (user, VM) an independent RNG stream and merge in entity order — so
-//! the studies, too, are byte-identical at every worker count.
+//! [`WorkloadStudy::run_jobs`] / [`PredictionStudy::run_jobs`], whose
+//! campaign loops give every entity (user, VM, evaluated series) an
+//! independent RNG stream and merge in entity order — so the studies,
+//! too, are byte-identical at every worker count. The prediction study
+//! consumes the workload study, so declaring
+//! [`crate::experiments::Needs::prediction`] implies a workload build
+//! even when no experiment reads the traces directly.
 //!
 //! Alongside the reports, the executor records wall-clock [`Timings`]:
 //! one entry per shared study build ("stage") and one per experiment,
@@ -37,7 +41,10 @@
 //! `experiment.start`/`close` pair per experiment — on stderr, format
 //! chosen by [`Executor::with_log`] (default off).
 
-use crate::experiments::{latency_study::LatencyStudy, workload_study::WorkloadStudy};
+use crate::experiments::{
+    latency_study::LatencyStudy, prediction_study::PredictionStudy,
+    workload_study::WorkloadStudy,
+};
 use crate::experiments::{ExperimentSpec, Studies};
 use crate::report::ExperimentReport;
 use crate::scenario::Scenario;
@@ -53,7 +60,7 @@ use std::time::Instant;
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimedEntry {
     /// What was timed — an experiment name, or `study:latency` /
-    /// `study:workload` for the shared stages.
+    /// `study:workload` / `study:prediction` for the shared stages.
     pub name: String,
     /// Worker threads this entry ran with: the executor's `--jobs` for
     /// data-parallel study builds, 1 for experiments (each runs entirely
@@ -68,8 +75,8 @@ pub struct TimedEntry {
 pub struct Timings {
     /// Worker threads the campaign ran with.
     pub jobs: usize,
-    /// Shared study builds (`study:latency`, `study:workload`), in build
-    /// order.
+    /// Shared study builds (`study:latency`, `study:workload`,
+    /// `study:prediction`), in build order.
     pub stages: Vec<TimedEntry>,
     /// One entry per experiment, in registry order.
     pub experiments: Vec<TimedEntry>,
@@ -140,7 +147,7 @@ impl Timings {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScopeMetrics {
     /// Scope name: an experiment name, or `study:latency` /
-    /// `study:workload`.
+    /// `study:workload` / `study:prediction`.
     pub name: String,
     /// `"stage"` for study builds, `"experiment"` for experiments —
     /// matching the `kind` column of `timings.csv`.
@@ -325,7 +332,10 @@ impl Executor {
         let t0 = Instant::now();
         let emitter = Emitter::new(self.log);
         let need_latency = specs.iter().any(|s| s.needs.latency);
-        let need_workload = specs.iter().any(|s| s.needs.workload);
+        let need_prediction = specs.iter().any(|s| s.needs.prediction);
+        // The prediction study trains on the trace pair, so it forces a
+        // workload build even when no spec reads the traces directly.
+        let need_workload = specs.iter().any(|s| s.needs.workload) || need_prediction;
         emitter.event(
             "executor",
             "campaign.start",
@@ -384,6 +394,30 @@ impl Executor {
             });
             stage_metrics.push(ScopeMetrics {
                 name: "study:workload".into(),
+                kind: "stage",
+                set,
+            });
+        }
+        if need_prediction {
+            emitter.event("executor", "study.start", &[("study", Field::Str("prediction"))]);
+            let t = Instant::now();
+            let workload = studies.workload.as_ref().expect("workload study built above");
+            let (study, set) =
+                obs::scoped(|| PredictionStudy::run_jobs(scenario, workload, self.jobs));
+            let ms = elapsed_ms(t);
+            emitter.event(
+                "executor",
+                "study.close",
+                &[("study", Field::Str("prediction")), ("wall_ms", Field::F64(ms))],
+            );
+            studies.prediction = Some(study);
+            stages.push(TimedEntry {
+                name: "study:prediction".into(),
+                workers: self.jobs,
+                wall_ms: ms,
+            });
+            stage_metrics.push(ScopeMetrics {
+                name: "study:prediction".into(),
                 kind: "stage",
                 set,
             });
@@ -614,6 +648,28 @@ mod tests {
         assert_eq!(stage_names, ["study:latency"], "only the needed study is built");
         assert_eq!(exec.reports.len(), 1);
         assert_eq!(exec.reports[0].id, "fig3");
+    }
+
+    #[test]
+    fn prediction_need_builds_workload_then_prediction_stage() {
+        // fig14 declares only needs.prediction; the executor must build
+        // the workload study (the prediction study's input) and then the
+        // prediction study, each as its own timed, metric-scoped stage.
+        let specs = select_experiments(registry(), "fig14").expect("fig14 exists");
+        assert!(specs[0].needs.prediction && !specs[0].needs.workload);
+        let scenario = Scenario::new(Scale::Quick, 7);
+        let exec = Executor::new(2).run(&scenario, specs);
+        let stage_names: Vec<&str> = exec.timings.stages.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(stage_names, ["study:workload", "study:prediction"]);
+        assert!(exec.timings.stages.iter().all(|e| e.workers == 2));
+        let scope_names: Vec<&str> =
+            exec.metrics.scopes.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(scope_names, ["study:workload", "study:prediction", "fig14"]);
+        // The training happens in the prediction stage, not in fig14.
+        let pred = &exec.metrics.scopes[1].set;
+        assert!(pred.counter("predict.series_trained") > 0);
+        assert!(pred.counter("predict.epochs_run") > 0);
+        assert_eq!(exec.metrics.scopes[2].set.counter("predict.series_trained"), 0);
     }
 
     #[test]

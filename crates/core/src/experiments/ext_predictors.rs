@@ -4,29 +4,23 @@
 //! with the classical baselines (naive, seasonal-naive, seasonal AR) on
 //! the same cohorts — the sanity panel any forecasting claim needs. The
 //! §4.4 conclusion should survive: *every* model predicts NEP better, so
-//! the platform gap is a property of the workloads, not of a model.
+//! the platform gap is a property of the workloads, not of a model. All
+//! reports come from the shared [`PredictionStudy`], so the HW and LSTM
+//! rows are the very same trainings fig14 renders.
 
-use super::fig14::cohort_for_tests as cohort;
-use super::workload_study::WorkloadStudy;
+use super::prediction_study::PredictionStudy;
 use crate::report::ExperimentReport;
-use crate::scenario::Scenario;
 use edgescope_analysis::table::Table;
-use edgescope_predict::eval::{evaluate_baseline, evaluate_holt_winters, evaluate_lstm, BaselineKind};
-use edgescope_predict::lstm::LstmConfig;
+use edgescope_predict::eval::BaselineKind;
 use edgescope_predict::window::Aggregation;
 
 /// Run the predictor panel (mean-CPU target — the max target behaves the
 /// same and fig14 already covers it).
-pub fn run(scenario: &Scenario, study: &WorkloadStudy) -> ExperimentReport {
+pub fn run(study: &PredictionStudy) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "ext_predictors",
         "Extension: predictor panel (baselines vs HW vs LSTM)",
     );
-    let n = scenario.sizing.predict_vms;
-    let nep_series = cohort(&study.nep, n);
-    let az_series = cohort(&study.azure, n);
-    let sphh_nep = study.nep.config.cpu_samples_per_half_hour();
-    let sphh_az = study.azure.config.cpu_samples_per_half_hour();
 
     let mut t = Table::new(
         "median RMSE, mean-CPU target (pp)",
@@ -41,17 +35,13 @@ pub fn run(scenario: &Scenario, study: &WorkloadStudy) -> ExperimentReport {
         ]);
     };
     for kind in [BaselineKind::Naive, BaselineKind::SeasonalNaive, BaselineKind::SeasonalAr] {
-        let rn = evaluate_baseline(&nep_series, sphh_nep, Aggregation::Mean, kind);
-        let ra = evaluate_baseline(&az_series, sphh_az, Aggregation::Mean, kind);
-        add(kind.label().to_string(), rn.median_rmse(), ra.median_rmse());
+        let pair = study.baseline(kind);
+        add(kind.label().to_string(), pair.nep.median_rmse(), pair.azure.median_rmse());
     }
-    let rn = evaluate_holt_winters(&nep_series, sphh_nep, Aggregation::Mean);
-    let ra = evaluate_holt_winters(&az_series, sphh_az, Aggregation::Mean);
-    add("Holt-Winters".into(), rn.median_rmse(), ra.median_rmse());
-    let lstm_cfg = LstmConfig { epochs: 2, stride: 4, lookback: 12, ..Default::default() };
-    let rn = evaluate_lstm(&nep_series, sphh_nep, Aggregation::Mean, &lstm_cfg);
-    let ra = evaluate_lstm(&az_series, sphh_az, Aggregation::Mean, &lstm_cfg);
-    add("LSTM (1x24)".into(), rn.median_rmse(), ra.median_rmse());
+    let hw = study.hw(Aggregation::Mean);
+    add("Holt-Winters".into(), hw.nep.median_rmse(), hw.azure.median_rmse());
+    let lstm = study.lstm(Aggregation::Mean);
+    add("LSTM (1x24)".into(), lstm.nep.median_rmse(), lstm.azure.median_rmse());
 
     report.tables.push(t);
     report.notes.push(
@@ -62,14 +52,16 @@ pub fn run(scenario: &Scenario, study: &WorkloadStudy) -> ExperimentReport {
 
 #[cfg(test)]
 mod tests {
+    use super::super::workload_study::WorkloadStudy;
     use super::*;
     use crate::scenario::{Scale, Scenario};
 
     #[test]
     fn gap_holds_across_models() {
         let scenario = Scenario::new(Scale::Quick, 34);
-        let study = WorkloadStudy::run(&scenario);
-        let r = run(&scenario, &study);
+        let wl = WorkloadStudy::run(&scenario);
+        let study = PredictionStudy::run(&scenario, &wl);
+        let r = run(&study);
         assert_eq!(r.tables[0].n_rows(), 5);
         let csv = r.tables[0].to_csv();
         // Every row's Azure/NEP ratio > 1 (NEP more predictable).

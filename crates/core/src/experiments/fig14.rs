@@ -1,40 +1,16 @@
 //! Fig. 14: VM CPU-usage prediction accuracy — Holt-Winters and the LSTM,
 //! max and mean targets, NEP vs. Azure — plus the §4.4 seasonality
-//! explanation.
+//! explanation. The trained reports come from the shared
+//! [`PredictionStudy`]; fig14 only renders them.
 
-use super::workload_study::WorkloadStudy;
+use super::prediction_study::PredictionStudy;
 use crate::report::ExperimentReport;
-use crate::scenario::Scenario;
 use edgescope_analysis::cdf::Cdf;
 use edgescope_analysis::seasonality::seasonal_strength;
 use edgescope_analysis::stats::mean;
 use edgescope_analysis::table::Table;
 use edgescope_analysis::timeseries::resample_mean;
-use edgescope_predict::eval::{evaluate_holt_winters, evaluate_lstm};
-use edgescope_predict::lstm::LstmConfig;
 use edgescope_predict::window::Aggregation;
-use edgescope_trace::dataset::TraceDataset;
-
-/// Pick an evaluation cohort: `n` VMs stratified across the utilization
-/// distribution (the paper evaluates per VM over the whole population, so
-/// the cohort must represent idle and busy VMs alike).
-fn cohort(ds: &TraceDataset, n: usize) -> Vec<Vec<f64>> {
-    cohort_for_tests(ds, n)
-}
-
-/// The stratified cohort, shared with `ext_predictors`.
-pub fn cohort_for_tests(ds: &TraceDataset, n: usize) -> Vec<Vec<f64>> {
-    let means = ds.mean_cpu_per_vm();
-    let mut order: Vec<usize> = (0..ds.n_vms()).collect();
-    order.sort_by(|&a, &b| means[b].partial_cmp(&means[a]).unwrap());
-    let n = n.min(order.len());
-    (0..n)
-        .map(|k| {
-            let i = order[k * order.len() / n.max(1)];
-            ds.series[i].cpu_util_pct.iter().map(|&v| v as f64).collect()
-        })
-        .collect()
-}
 
 /// Mean seasonal strength of a cohort (hourly resampling, daily period).
 fn cohort_seasonality(series: &[Vec<f64>], cpu_interval_min: usize) -> f64 {
@@ -46,21 +22,9 @@ fn cohort_seasonality(series: &[Vec<f64>], cpu_interval_min: usize) -> f64 {
     mean(&vals)
 }
 
-/// Regenerate Fig. 14 at the scenario's prediction sizing.
-pub fn run(scenario: &Scenario, study: &WorkloadStudy) -> ExperimentReport {
+/// Regenerate Fig. 14 from the shared prediction study.
+pub fn run(study: &PredictionStudy) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig14", "CPU usage prediction (next half-hour)");
-    let n = scenario.sizing.predict_vms;
-    let sphh_nep = study.nep.config.cpu_samples_per_half_hour();
-    let sphh_az = study.azure.config.cpu_samples_per_half_hour();
-    let nep_series = cohort(&study.nep, n);
-    let az_series = cohort(&study.azure, n);
-
-    let lstm_cfg = LstmConfig {
-        epochs: if n <= 8 { 2 } else { 3 },
-        stride: 3,
-        lookback: 12,
-        ..Default::default()
-    };
 
     let mut t = Table::new(
         "median RMSE (CPU percentage points)",
@@ -68,32 +32,41 @@ pub fn run(scenario: &Scenario, study: &WorkloadStudy) -> ExperimentReport {
     );
     for agg in [Aggregation::Max, Aggregation::Mean] {
         let tag = if agg == Aggregation::Max { "max" } else { "mean" };
-        let hw_nep = evaluate_holt_winters(&nep_series, sphh_nep, agg);
-        let hw_az = evaluate_holt_winters(&az_series, sphh_az, agg);
+        let hw = study.hw(agg);
         t.row(vec![
             "Holt-Winters".into(),
             tag.into(),
-            format!("{:.1}", hw_nep.median_rmse()),
-            format!("{:.1}", hw_az.median_rmse()),
+            format!("{:.1}", hw.nep.median_rmse()),
+            format!("{:.1}", hw.azure.median_rmse()),
         ]);
-        report.csv.push((format!("hw_{tag}_nep_cdf"), Cdf::new(hw_nep.rmse_per_vm).to_csv(30)));
-        report.csv.push((format!("hw_{tag}_azure_cdf"), Cdf::new(hw_az.rmse_per_vm).to_csv(30)));
+        report
+            .csv
+            .push((format!("hw_{tag}_nep_cdf"), Cdf::new(hw.nep.rmse_per_vm.clone()).to_csv(30)));
+        report.csv.push((
+            format!("hw_{tag}_azure_cdf"),
+            Cdf::new(hw.azure.rmse_per_vm.clone()).to_csv(30),
+        ));
 
-        let lstm_nep = evaluate_lstm(&nep_series, sphh_nep, agg, &lstm_cfg);
-        let lstm_az = evaluate_lstm(&az_series, sphh_az, agg, &lstm_cfg);
+        let lstm = study.lstm(agg);
         t.row(vec![
             "LSTM (1x24)".into(),
             tag.into(),
-            format!("{:.1}", lstm_nep.median_rmse()),
-            format!("{:.1}", lstm_az.median_rmse()),
+            format!("{:.1}", lstm.nep.median_rmse()),
+            format!("{:.1}", lstm.azure.median_rmse()),
         ]);
-        report.csv.push((format!("lstm_{tag}_nep_cdf"), Cdf::new(lstm_nep.rmse_per_vm).to_csv(30)));
-        report.csv.push((format!("lstm_{tag}_azure_cdf"), Cdf::new(lstm_az.rmse_per_vm).to_csv(30)));
+        report.csv.push((
+            format!("lstm_{tag}_nep_cdf"),
+            Cdf::new(lstm.nep.rmse_per_vm.clone()).to_csv(30),
+        ));
+        report.csv.push((
+            format!("lstm_{tag}_azure_cdf"),
+            Cdf::new(lstm.azure.rmse_per_vm.clone()).to_csv(30),
+        ));
     }
     report.tables.push(t);
 
-    let s_nep = cohort_seasonality(&nep_series, study.nep.config.cpu_interval_min);
-    let s_az = cohort_seasonality(&az_series, study.azure.config.cpu_interval_min);
+    let s_nep = cohort_seasonality(&study.nep_cohort, study.nep_interval_min);
+    let s_az = cohort_seasonality(&study.azure_cohort, study.azure_interval_min);
     let mut ts = Table::new("seasonal strength (Wang-Smith-Hyndman)", &["platform", "mean"]);
     ts.row(vec!["NEP".into(), format!("{s_nep:.2}")]);
     ts.row(vec!["Azure".into(), format!("{s_az:.2}")]);
@@ -107,8 +80,9 @@ pub fn run(scenario: &Scenario, study: &WorkloadStudy) -> ExperimentReport {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::super::prediction_study::cohort;
     use super::super::workload_study::WorkloadStudy;
+    use super::*;
     use crate::scenario::{Scale, Scenario};
 
     #[test]
@@ -125,8 +99,9 @@ mod tests {
     #[test]
     fn fig14_builds() {
         let scenario = Scenario::new(Scale::Quick, 21);
-        let study = WorkloadStudy::run(&scenario);
-        let r = run(&scenario, &study);
+        let wl = WorkloadStudy::run(&scenario);
+        let study = PredictionStudy::run(&scenario, &wl);
+        let r = run(&study);
         assert_eq!(r.tables.len(), 2);
         assert_eq!(r.tables[0].n_rows(), 4);
         assert_eq!(r.csv.len(), 8);

@@ -2,11 +2,14 @@
 //!
 //! The latency experiments (fig2/table2/fig3) share one crowd campaign
 //! ([`latency_study::LatencyStudy`]); the workload experiments (fig8–
-//! fig14, table3, sales) share one pair of traces
-//! ([`workload_study::WorkloadStudy`]). The [`registry`] names every
-//! experiment (name == report id, e.g. `fig2a`) together with the shared
-//! studies it [`Needs`]; the [`crate::executor::Executor`] builds the
-//! needed studies once and fans the runners out over worker threads.
+//! fig13, table3, sales) share one pair of traces
+//! ([`workload_study::WorkloadStudy`]); the prediction experiments
+//! (fig14, ext_predictors, ext_predictive) share one set of trained
+//! forecasters ([`prediction_study::PredictionStudy`], built *from* the
+//! workload study). The [`registry`] names every experiment (name ==
+//! report id, e.g. `fig2a`) together with the shared studies it
+//! [`Needs`]; the [`crate::executor::Executor`] builds the needed
+//! studies once and fans the runners out over worker threads.
 //! [`run_all`] is the serial convenience wrapper that regenerates every
 //! artefact in paper order.
 
@@ -32,6 +35,7 @@ pub mod ext_predictive;
 pub mod ext_predictors;
 pub mod fig9;
 pub mod latency_study;
+pub mod prediction_study;
 pub mod sales_rate;
 pub mod table1;
 pub mod table2;
@@ -49,15 +53,18 @@ use crate::scenario::Scenario;
 pub struct Studies {
     /// The crowd latency campaign (fig2/table2/fig3), if built.
     pub latency: Option<latency_study::LatencyStudy>,
-    /// The NEP/Azure trace pair (fig8–fig14, table3, sales, ext_*), if
+    /// The NEP/Azure trace pair (fig8–fig13, table3, sales, ext_*), if
     /// built.
     pub workload: Option<workload_study::WorkloadStudy>,
+    /// The trained forecasters (fig14, ext_predictors, ext_predictive),
+    /// if built.
+    pub prediction: Option<prediction_study::PredictionStudy>,
 }
 
 impl Studies {
     /// No studies built — enough for experiments with no [`Needs`].
     pub fn none() -> Self {
-        Studies { latency: None, workload: None }
+        Studies { latency: None, workload: None, prediction: None }
     }
 
     /// The latency study. Panics if the executor did not build it — a
@@ -71,6 +78,14 @@ impl Studies {
     pub fn workload(&self) -> &workload_study::WorkloadStudy {
         self.workload.as_ref().expect("workload study not built: spec must declare needs.workload")
     }
+
+    /// The prediction study. Panics if the executor did not build it — a
+    /// registry entry forgot to declare `Needs::prediction`.
+    pub fn prediction(&self) -> &prediction_study::PredictionStudy {
+        self.prediction
+            .as_ref()
+            .expect("prediction study not built: spec must declare needs.prediction")
+    }
 }
 
 /// Which shared studies an experiment reads.
@@ -80,14 +95,20 @@ pub struct Needs {
     pub latency: bool,
     /// Reads the NEP/Azure trace pair.
     pub workload: bool,
+    /// Reads the trained forecasters (implies the executor also builds
+    /// the workload study, the prediction study's input).
+    pub prediction: bool,
 }
 
 /// No shared study.
-const NONE: Needs = Needs { latency: false, workload: false };
+const NONE: Needs = Needs { latency: false, workload: false, prediction: false };
 /// The latency campaign only.
-const LAT: Needs = Needs { latency: true, workload: false };
+const LAT: Needs = Needs { latency: true, workload: false, prediction: false };
 /// The trace pair only.
-const WL: Needs = Needs { latency: false, workload: true };
+const WL: Needs = Needs { latency: false, workload: true, prediction: false };
+/// The trained forecasters only (the executor builds the trace pair
+/// too, as the prediction study's input).
+const PRED: Needs = Needs { latency: false, workload: false, prediction: true };
 
 /// The uniform runner signature every registry entry adapts to.
 pub type Runner = fn(&Scenario, &Studies) -> ExperimentReport;
@@ -140,15 +161,17 @@ pub fn registry() -> Vec<ExperimentSpec> {
         ExperimentSpec::new("fig11", WL, |_, st| fig11::run(st.workload())),
         ExperimentSpec::new("fig12", WL, |_, st| fig12::run(st.workload())),
         ExperimentSpec::new("fig13", WL, |_, st| fig13::run(st.workload())),
-        ExperimentSpec::new("fig14", WL, |sc, st| fig14::run(sc, st.workload())),
+        ExperimentSpec::new("fig14", PRED, |_, st| fig14::run(st.prediction())),
         ExperimentSpec::new("table3", WL, |sc, st| table3::run(sc, st.workload())),
         ExperimentSpec::new("table4", NONE, |_, _| table4::run()),
         ExperimentSpec::new("table5", NONE, |_, _| table5::run()),
         ExperimentSpec::new("ext_gslb", NONE, |sc, _| ext_gslb::run(sc)),
         ExperimentSpec::new("ext_migration", WL, |_, st| ext_migration::run(st.workload())),
         ExperimentSpec::new("ext_elastic", NONE, |sc, _| ext_elastic::run(sc)),
-        ExperimentSpec::new("ext_predictive", NONE, |sc, _| ext_predictive::run(sc)),
-        ExperimentSpec::new("ext_predictors", WL, |sc, st| ext_predictors::run(sc, st.workload())),
+        ExperimentSpec::new("ext_predictive", PRED, |sc, st| {
+            ext_predictive::run(sc, st.prediction())
+        }),
+        ExperimentSpec::new("ext_predictors", PRED, |_, st| ext_predictors::run(st.prediction())),
         ExperimentSpec::new("ext_fragmentation", NONE, |sc, _| ext_fragmentation::run(sc)),
         ExperimentSpec::new("ext_billing", WL, |sc, st| ext_billing::run(sc, st.workload())),
         ExperimentSpec::new("ext_framesim", NONE, |sc, _| ext_framesim::run(sc)),
@@ -235,7 +258,16 @@ mod tests {
     fn selection_only_builds_what_it_needs() {
         let picked = select_experiments(registry(), "table1,table4").expect("valid");
         assert!(picked.iter().all(|s| s.needs == Needs::default()));
-        let picked = select_experiments(registry(), "fig14").expect("valid");
+        let picked = select_experiments(registry(), "fig10").expect("valid");
         assert!(picked[0].needs.workload && !picked[0].needs.latency);
+        // The prediction experiments declare only the prediction study;
+        // the executor derives the workload build it requires as input.
+        for name in ["fig14", "ext_predictors", "ext_predictive"] {
+            let picked = select_experiments(registry(), name).expect("valid");
+            assert!(
+                picked[0].needs.prediction && !picked[0].needs.workload,
+                "{name} needs the prediction study only"
+            );
+        }
     }
 }

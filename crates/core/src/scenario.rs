@@ -24,7 +24,9 @@
 //!
 //! * every experiment (and every shared study) owns a distinct tag,
 //!   hard-coded at its call site — e.g. the latency campaign uses
-//!   `0x1a7e`; never reuse a tag across experiments;
+//!   `0x1a7e` and the prediction study uses `0x9ed1`
+//!   (`crate::experiments::prediction_study::TAG`); never reuse a tag
+//!   across experiments;
 //! * scenario *construction* consumes the raw seed directly (site
 //!   placement, crowd recruitment) and happens before any experiment;
 //! * an experiment needing several independent streams should derive

@@ -44,6 +44,9 @@ pub mod domains {
     pub const TRACE_VM: u32 = 4;
     /// Trace per-app base-utilization draws (a single stream, index 0).
     pub const TRACE_APP: u32 = 5;
+    /// Prediction-evaluation VM series (one LSTM seed stream per series
+    /// index in the evaluated cohort).
+    pub const PREDICT_SERIES: u32 = 6;
 }
 
 /// SplitMix64 finalizer: a bijective avalanche over `u64`.
@@ -223,12 +226,12 @@ mod tests {
         // Distinct tags, distinct seeds — including adjacent indices,
         // which the raw XOR-multiply alone would map close together.
         let mut seen = std::collections::BTreeSet::new();
-        for domain in [domains::LATENCY_USER, domains::TRACE_VM] {
+        for domain in [domains::LATENCY_USER, domains::TRACE_VM, domains::PREDICT_SERIES] {
             for i in 0..1000usize {
                 assert!(seen.insert(stream_seed(42, entity_tag(domain, i))));
             }
         }
-        assert_eq!(seen.len(), 2000);
+        assert_eq!(seen.len(), 3000);
     }
 
     #[test]

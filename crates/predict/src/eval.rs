@@ -5,11 +5,41 @@
 //! windows, produce one-step-ahead forecasts over the test windows, and
 //! report RMSE in CPU percentage points. Fig. 14 then plots the CDF of
 //! these per-VM RMSEs.
+//!
+//! # Parallel evaluation
+//!
+//! The paper trains "on each separated VM", so the per-VM loop is
+//! embarrassingly parallel. The `*_jobs` variants fan the series out over
+//! `jobs` crossbeam worker threads with the same deterministic pattern as
+//! the campaign loops in `edgescope-probe`/`edgescope-trace`:
+//!
+//! * every series is handled by [`crate::pool::fan_out`] in strided
+//!   assignment, and the per-series results merge back **in series-index
+//!   order**;
+//! * the LSTM's per-series seed comes from its own RNG stream —
+//!   `stream_seed(cfg.seed, entity_tag(PREDICT_SERIES, i))` — so no
+//!   series' initialization or shuffle depends on which worker ran it,
+//!   or on how many series preceded it;
+//! * each series runs inside its own `edgescope-obs` metric scope, and
+//!   the harvested sets are replayed into the caller's scope in series
+//!   order (`record_set`), so `predict.*` counters are byte-identical at
+//!   every worker count.
+//!
+//! The original entry points ([`evaluate_holt_winters`],
+//! [`evaluate_lstm`], [`evaluate_baseline`]) are `jobs = 1` wrappers and
+//! produce identical reports.
+//!
+//! Metrics recorded per evaluation: `predict.series_trained`,
+//! `predict.series_skipped` (too short for the protocol), and
+//! `predict.epochs_run` (LSTM only).
 
 use crate::holt_winters::HoltWinters;
 use crate::lstm::{Lstm, LstmConfig};
+use crate::pool::fan_out;
 use crate::window::{make_windows, train_test_split, Aggregation};
 use edgescope_analysis::stats::rmse;
+use edgescope_net::rng::{domains, entity_tag, stream_seed};
+use edgescope_obs as obs;
 
 /// RMSEs per VM for one (model, aggregation) combination.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,50 +62,115 @@ impl PredictionReport {
 /// Windows per day at half-hour granularity.
 pub const WINDOWS_PER_DAY: usize = 48;
 
-/// Evaluate Holt-Winters over a set of per-VM CPU series.
+/// Fan the per-series evaluation `f(i) -> Option<rmse>` out over `jobs`
+/// workers, replay each series' metric scope into the caller's scope in
+/// series order, and collect the non-skipped RMSEs in series order.
+fn eval_series<F>(n_series: usize, jobs: usize, f: F) -> Vec<f64>
+where
+    F: Fn(usize) -> Option<f64> + Sync,
+{
+    let per_series = fan_out(n_series, jobs, |i| obs::scoped(|| f(i)));
+    let mut rmses = Vec::with_capacity(n_series);
+    for (val, set) in &per_series {
+        obs::record_set(set);
+        if let Some(r) = val {
+            rmses.push(*r);
+        }
+    }
+    rmses
+}
+
+/// The windows of one series if it is long enough for the protocol,
+/// recording the trained/skipped counters.
+fn windows_or_skip(
+    xs: &[f64],
+    samples_per_half_hour: usize,
+    agg: Aggregation,
+    min_extra: usize,
+) -> Option<Vec<f64>> {
+    let windows = make_windows(xs, samples_per_half_hour, agg);
+    if windows.len() < 4 * WINDOWS_PER_DAY || windows.len() <= min_extra {
+        obs::counter_add("predict.series_skipped", 1);
+        return None;
+    }
+    obs::counter_add("predict.series_trained", 1);
+    Some(windows)
+}
+
+/// Evaluate Holt-Winters over a set of per-VM CPU series, fanning the
+/// series out over up to `jobs` worker threads — byte-identical to the
+/// serial evaluation at every worker count.
 ///
 /// `samples_per_half_hour` converts raw sampling to windows (30 for 1-min
 /// data). Series too short for two seasonal periods are skipped.
+pub fn evaluate_holt_winters_jobs(
+    cpu_series: &[Vec<f64>],
+    samples_per_half_hour: usize,
+    agg: Aggregation,
+    jobs: usize,
+) -> PredictionReport {
+    let rmses = eval_series(cpu_series.len(), jobs, |i| {
+        let windows = windows_or_skip(&cpu_series[i], samples_per_half_hour, agg, 0)?;
+        let (train, test) = train_test_split(&windows);
+        let mut hw = HoltWinters::fit_grid(train, WINDOWS_PER_DAY);
+        let preds = hw.forecast_online(test);
+        Some(rmse(&preds, test))
+    });
+    PredictionReport { model: "holt-winters", aggregation: agg, rmse_per_vm: rmses }
+}
+
+/// Evaluate Holt-Winters serially (a `jobs = 1` wrapper around
+/// [`evaluate_holt_winters_jobs`]).
 pub fn evaluate_holt_winters(
     cpu_series: &[Vec<f64>],
     samples_per_half_hour: usize,
     agg: Aggregation,
 ) -> PredictionReport {
-    let mut rmses = Vec::with_capacity(cpu_series.len());
-    for xs in cpu_series {
-        let windows = make_windows(xs, samples_per_half_hour, agg);
-        if windows.len() < 4 * WINDOWS_PER_DAY {
-            continue;
-        }
-        let (train, test) = train_test_split(&windows);
-        let mut hw = HoltWinters::fit_grid(train, WINDOWS_PER_DAY);
-        let preds = hw.forecast_online(test);
-        rmses.push(rmse(&preds, test));
-    }
-    PredictionReport { model: "holt-winters", aggregation: agg, rmse_per_vm: rmses }
+    evaluate_holt_winters_jobs(cpu_series, samples_per_half_hour, agg, 1)
 }
 
-/// Evaluate the LSTM over a set of per-VM CPU series. One model per VM,
-/// as in the paper ("trained and tested on each separated VM").
+/// Evaluate the LSTM over a set of per-VM CPU series, one model per VM as
+/// in the paper ("trained and tested on each separated VM"), fanned out
+/// over up to `jobs` worker threads.
+///
+/// `cfg.seed` is the *base* seed: series `i` trains with its own derived
+/// stream seed `stream_seed(cfg.seed, entity_tag(PREDICT_SERIES, i))`, so
+/// every VM's initialization and shuffle order are independent of both
+/// the worker count and the other series — the reports are byte-identical
+/// at every `jobs` value.
+pub fn evaluate_lstm_jobs(
+    cpu_series: &[Vec<f64>],
+    samples_per_half_hour: usize,
+    agg: Aggregation,
+    cfg: &LstmConfig,
+    jobs: usize,
+) -> PredictionReport {
+    let rmses = eval_series(cpu_series.len(), jobs, |i| {
+        let windows =
+            windows_or_skip(&cpu_series[i], samples_per_half_hour, agg, cfg.lookback + 8)?;
+        let (train, test) = train_test_split(&windows);
+        let series_cfg = LstmConfig {
+            seed: stream_seed(cfg.seed, entity_tag(domains::PREDICT_SERIES, i)),
+            ..cfg.clone()
+        };
+        obs::counter_add("predict.epochs_run", series_cfg.epochs as u64);
+        let mut model = Lstm::new(series_cfg);
+        model.train(train);
+        let preds = model.forecast_online(train, test);
+        Some(rmse(&preds, test))
+    });
+    PredictionReport { model: "lstm", aggregation: agg, rmse_per_vm: rmses }
+}
+
+/// Evaluate the LSTM serially (a `jobs = 1` wrapper around
+/// [`evaluate_lstm_jobs`]; same per-series seed derivation).
 pub fn evaluate_lstm(
     cpu_series: &[Vec<f64>],
     samples_per_half_hour: usize,
     agg: Aggregation,
     cfg: &LstmConfig,
 ) -> PredictionReport {
-    let mut rmses = Vec::with_capacity(cpu_series.len());
-    for xs in cpu_series {
-        let windows = make_windows(xs, samples_per_half_hour, agg);
-        if windows.len() < 4 * WINDOWS_PER_DAY || windows.len() <= cfg.lookback + 8 {
-            continue;
-        }
-        let (train, test) = train_test_split(&windows);
-        let mut model = Lstm::new(cfg.clone());
-        model.train(train);
-        let preds = model.forecast_online(train, test);
-        rmses.push(rmse(&preds, test));
-    }
-    PredictionReport { model: "lstm", aggregation: agg, rmse_per_vm: rmses }
+    evaluate_lstm_jobs(cpu_series, samples_per_half_hour, agg, cfg, 1)
 }
 
 /// The baseline forecasters evaluated by [`evaluate_baseline`].
@@ -101,20 +196,18 @@ impl BaselineKind {
 }
 
 /// Evaluate a baseline forecaster over per-VM CPU series (same protocol
-/// as [`evaluate_holt_winters`]).
-pub fn evaluate_baseline(
+/// as [`evaluate_holt_winters_jobs`]), fanned out over up to `jobs`
+/// worker threads.
+pub fn evaluate_baseline_jobs(
     cpu_series: &[Vec<f64>],
     samples_per_half_hour: usize,
     agg: Aggregation,
     kind: BaselineKind,
+    jobs: usize,
 ) -> PredictionReport {
     use crate::baselines::{naive_forecast, seasonal_naive_forecast, ArModel};
-    let mut rmses = Vec::with_capacity(cpu_series.len());
-    for xs in cpu_series {
-        let windows = make_windows(xs, samples_per_half_hour, agg);
-        if windows.len() < 4 * WINDOWS_PER_DAY {
-            continue;
-        }
+    let rmses = eval_series(cpu_series.len(), jobs, |i| {
+        let windows = windows_or_skip(&cpu_series[i], samples_per_half_hour, agg, 0)?;
         let (train, test) = train_test_split(&windows);
         let preds = match kind {
             BaselineKind::Naive => naive_forecast(train, test.len(), test),
@@ -123,13 +216,20 @@ pub fn evaluate_baseline(
                 ArModel::fit(train, 2, WINDOWS_PER_DAY).forecast_online(train, test)
             }
         };
-        rmses.push(rmse(&preds, test));
-    }
-    PredictionReport {
-        model: kind.label(),
-        aggregation: agg,
-        rmse_per_vm: rmses,
-    }
+        Some(rmse(&preds, test))
+    });
+    PredictionReport { model: kind.label(), aggregation: agg, rmse_per_vm: rmses }
+}
+
+/// Evaluate a baseline serially (a `jobs = 1` wrapper around
+/// [`evaluate_baseline_jobs`]).
+pub fn evaluate_baseline(
+    cpu_series: &[Vec<f64>],
+    samples_per_half_hour: usize,
+    agg: Aggregation,
+    kind: BaselineKind,
+) -> PredictionReport {
+    evaluate_baseline_jobs(cpu_series, samples_per_half_hour, agg, kind, 1)
 }
 
 #[cfg(test)]
@@ -205,5 +305,66 @@ mod tests {
         let rep = evaluate_lstm(&series, 6, Aggregation::Mean, &cfg);
         assert_eq!(rep.rmse_per_vm.len(), 1);
         assert!(rep.rmse_per_vm[0] < 20.0, "rmse {}", rep.rmse_per_vm[0]);
+    }
+
+    #[test]
+    fn jobs_variants_match_serial() {
+        let series: Vec<Vec<f64>> =
+            (0..5).map(|k| seasonal_vm(8, 10.0 + k as f64, 20 + k as u64)).collect();
+        let cfg = LstmConfig { epochs: 1, lookback: 8, stride: 6, ..Default::default() };
+        let hw1 = evaluate_holt_winters_jobs(&series, 6, Aggregation::Mean, 1);
+        let base1 =
+            evaluate_baseline_jobs(&series, 6, Aggregation::Mean, BaselineKind::SeasonalAr, 1);
+        let lstm1 = evaluate_lstm_jobs(&series, 6, Aggregation::Mean, &cfg, 1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(
+                evaluate_holt_winters_jobs(&series, 6, Aggregation::Mean, jobs),
+                hw1,
+                "HW at jobs={jobs}"
+            );
+            assert_eq!(
+                evaluate_baseline_jobs(&series, 6, Aggregation::Mean, BaselineKind::SeasonalAr, jobs),
+                base1,
+                "baseline at jobs={jobs}"
+            );
+            assert_eq!(
+                evaluate_lstm_jobs(&series, 6, Aggregation::Mean, &cfg, jobs),
+                lstm1,
+                "LSTM at jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_series_seeds_differ() {
+        // Two identical series must still train with distinct derived
+        // seeds — the per-series stream is keyed by index, not content.
+        let xs = seasonal_vm(8, 12.0, 9);
+        let series = vec![xs.clone(), xs];
+        let cfg = LstmConfig { epochs: 1, lookback: 8, stride: 6, ..Default::default() };
+        let rep = evaluate_lstm(&series, 6, Aggregation::Mean, &cfg);
+        assert_eq!(rep.rmse_per_vm.len(), 2);
+        assert_ne!(
+            rep.rmse_per_vm[0], rep.rmse_per_vm[1],
+            "identical series with distinct indices must draw distinct seed streams"
+        );
+    }
+
+    #[test]
+    fn metrics_count_trained_and_skipped_series() {
+        use edgescope_obs as obs;
+        let series = vec![seasonal_vm(8, 12.0, 1), vec![10.0; 100], seasonal_vm(8, 12.0, 2)];
+        let run = |jobs: usize| {
+            obs::scoped(|| {
+                let cfg = LstmConfig { epochs: 2, lookback: 8, stride: 6, ..Default::default() };
+                evaluate_lstm_jobs(&series, 6, Aggregation::Mean, &cfg, jobs);
+            })
+            .1
+        };
+        let set = run(1);
+        assert_eq!(set.counter("predict.series_trained"), 2);
+        assert_eq!(set.counter("predict.series_skipped"), 1);
+        assert_eq!(set.counter("predict.epochs_run"), 4);
+        assert_eq!(set, run(4), "predict.* metrics must not depend on the worker count");
     }
 }

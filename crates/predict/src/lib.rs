@@ -20,7 +20,12 @@
 //! Shared plumbing: [`window`] builds the half-hour max/mean supervision
 //! windows and the 3-week-train / 1-week-test split; [`eval`] runs either
 //! model per VM and reports RMSE in CPU percentage points (the unit of
-//! Fig. 14's x-axis).
+//! Fig. 14's x-axis). The per-VM loop is embarrassingly parallel — the
+//! paper trains "on each separated VM" — so [`eval`] also ships
+//! `*_jobs` variants that fan the series out over crossbeam worker
+//! threads with per-series RNG streams and per-series `edgescope-obs`
+//! metric scopes, byte-identical to the serial path at every worker
+//! count.
 //!
 //! ## Omitted
 //! No GPU, no batching across VMs (the paper trains "on each separated
@@ -31,10 +36,15 @@ pub mod baselines;
 pub mod eval;
 pub mod holt_winters;
 pub mod lstm;
+mod pool;
 pub mod window;
 
 pub use baselines::{naive_forecast, seasonal_naive_forecast, ArModel};
-pub use eval::{evaluate_baseline, evaluate_holt_winters, evaluate_lstm, BaselineKind, PredictionReport};
+pub use eval::{
+    evaluate_baseline, evaluate_baseline_jobs, evaluate_holt_winters,
+    evaluate_holt_winters_jobs, evaluate_lstm, evaluate_lstm_jobs, BaselineKind,
+    PredictionReport,
+};
 pub use holt_winters::HoltWinters;
 pub use lstm::{Lstm, LstmConfig};
 pub use window::{make_windows, train_test_split, Aggregation};

@@ -1,0 +1,103 @@
+//! Deterministic series fan-out for the prediction evaluators.
+//!
+//! [`fan_out`] runs one closure per series index over `jobs` crossbeam
+//! scoped worker threads (the same worker-pool shape as
+//! `core::executor`) and returns the results **in series-index order**,
+//! so callers observe exactly the serial iteration order no matter how
+//! many workers ran. Combined with per-series RNG streams
+//! (`edgescope_net::rng::stream_rng`) and per-series metric scopes
+//! (`edgescope_obs::scoped` + `record_set`), this makes the evaluators
+//! byte-identical for every `jobs` value — determinism by construction,
+//! not by serialization.
+//!
+//! Deliberately duplicated from `edgescope-probe`/`edgescope-trace`
+//! rather than shared: the substrate crates stay independent of each
+//! other, and the helper is ~40 lines.
+
+/// Run `f(i)` for every `i in 0..n` and collect results in index order.
+///
+/// With `jobs <= 1` (or fewer than two series) this is a plain serial
+/// map on the calling thread. Otherwise series are assigned to workers
+/// in stride order (worker `w` handles `w, w + workers, …`), which
+/// balances cohorts whose per-series cost varies (short series skip
+/// training entirely) without any shared cursor.
+///
+/// `f` must be index-deterministic: the same `i` must produce the same
+/// value regardless of thread — which is exactly what per-series RNG
+/// streams guarantee.
+pub(crate) fn fan_out<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|sc| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                sc.spawn(move |_| {
+                    (w..n)
+                        .step_by(workers)
+                        .map(|i| (i, f(i)))
+                        .collect::<Vec<(usize, T)>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("prediction worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    })
+    .expect("prediction worker pool panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every series index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let serial = fan_out(37, 1, |i| i * i);
+        for jobs in [2, 3, 4, 8, 64] {
+            assert_eq!(fan_out(37, jobs, |i| i * i), serial, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(fan_out(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(fan_out(1, 4, |i| i + 10), vec![10]);
+        assert_eq!(fan_out(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn per_series_metric_scopes_replay_in_order() {
+        use edgescope_obs as obs;
+        let run = |jobs: usize| {
+            let ((), set) = obs::scoped(|| {
+                let per_series = fan_out(8, jobs, |i| {
+                    obs::scoped(|| {
+                        obs::counter_add("t.predict_pool", 1);
+                        obs::observe("t.predict_pool_ms", i as f64, &[4.0]);
+                    })
+                    .1
+                });
+                for set in &per_series {
+                    obs::record_set(set);
+                }
+            });
+            set
+        };
+        assert_eq!(run(1), run(4), "metric sets must not depend on the worker count");
+        assert_eq!(run(1).counter("t.predict_pool"), 8);
+    }
+}

@@ -91,6 +91,120 @@ fn study_builds_are_worker_count_invariant() {
 }
 
 #[test]
+fn prediction_study_is_worker_count_invariant() {
+    // The prediction-study gate: every trained report — Holt-Winters,
+    // LSTM and the baselines, both platforms, both targets — must carry
+    // identical RMSE vectors at every worker count, because each series
+    // trains from its own RNG stream regardless of which worker runs it.
+    use edgescope::experiments::prediction_study::PredictionStudy;
+    use edgescope::experiments::workload_study::WorkloadStudy;
+
+    let scenario = Scenario::new(Scale::Quick, 7);
+    let wl = WorkloadStudy::run(&scenario);
+    let serial = PredictionStudy::run_jobs(&scenario, &wl, 1);
+    for jobs in [2, 4] {
+        let parallel = PredictionStudy::run_jobs(&scenario, &wl, jobs);
+        for (name, a, b) in [
+            ("hw_max", &serial.hw_max, &parallel.hw_max),
+            ("hw_mean", &serial.hw_mean, &parallel.hw_mean),
+            ("lstm_max", &serial.lstm_max, &parallel.lstm_max),
+            ("lstm_mean", &serial.lstm_mean, &parallel.lstm_mean),
+            ("naive_mean", &serial.naive_mean, &parallel.naive_mean),
+            ("seasonal_naive_mean", &serial.seasonal_naive_mean, &parallel.seasonal_naive_mean),
+            ("seasonal_ar_mean", &serial.seasonal_ar_mean, &parallel.seasonal_ar_mean),
+        ] {
+            assert_eq!(a, b, "{name} at jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn prediction_evaluators_are_worker_count_invariant() {
+    // Same property one layer down, against the predict-crate `*_jobs`
+    // entry points the study wraps.
+    use edgescope::experiments::prediction_study::{cohort, TAG};
+    use edgescope::experiments::workload_study::WorkloadStudy;
+    use edgescope::predict::eval::{
+        evaluate_baseline_jobs, evaluate_holt_winters_jobs, evaluate_lstm_jobs, BaselineKind,
+    };
+    use edgescope::predict::lstm::LstmConfig;
+    use edgescope::predict::window::Aggregation;
+
+    let scenario = Scenario::new(Scale::Quick, 13);
+    let wl = WorkloadStudy::run(&scenario);
+    let series = cohort(&wl.nep, 4);
+    let sphh = wl.nep.config.cpu_samples_per_half_hour();
+    let cfg = LstmConfig {
+        epochs: 2,
+        stride: 3,
+        lookback: 12,
+        seed: scenario.stream_seed(TAG),
+        ..Default::default()
+    };
+
+    let hw1 = evaluate_holt_winters_jobs(&series, sphh, Aggregation::Max, 1);
+    let lstm1 = evaluate_lstm_jobs(&series, sphh, Aggregation::Mean, &cfg, 1);
+    let base1 =
+        evaluate_baseline_jobs(&series, sphh, Aggregation::Mean, BaselineKind::SeasonalAr, 1);
+    for jobs in [3, 8] {
+        assert_eq!(
+            hw1,
+            evaluate_holt_winters_jobs(&series, sphh, Aggregation::Max, jobs),
+            "holt-winters at jobs={jobs}"
+        );
+        assert_eq!(
+            lstm1,
+            evaluate_lstm_jobs(&series, sphh, Aggregation::Mean, &cfg, jobs),
+            "lstm at jobs={jobs}"
+        );
+        assert_eq!(
+            base1,
+            evaluate_baseline_jobs(&series, sphh, Aggregation::Mean, BaselineKind::SeasonalAr, jobs),
+            "seasonal-AR at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn prediction_seed_streams_are_pinned() {
+    // Golden values: the exact seed derivation chain from scenario seed
+    // to per-series LSTM stream. Any drift in the mixing constants, the
+    // PREDICT_SERIES domain number or the study TAG silently changes
+    // every trained model, so the integers themselves are pinned here.
+    use edgescope::experiments::prediction_study::TAG;
+    use edgescope::net::rng::{domains, entity_tag, stream_seed};
+
+    assert_eq!(TAG, 0x9ed1);
+    assert_eq!(domains::PREDICT_SERIES, 6);
+
+    let base = Scenario::new(Scale::Quick, 42).stream_seed(TAG);
+    assert_eq!(base, 0x1ce0_543e_042b_c219, "study base seed for seed=42");
+    let per_series: Vec<u64> =
+        (0..4).map(|i| stream_seed(base, entity_tag(domains::PREDICT_SERIES, i))).collect();
+    assert_eq!(
+        per_series,
+        [
+            0xcae4_cb92_410b_ba36,
+            0x9c21_345c_6ec8_f4d1,
+            0x461c_cebd_1098_df24,
+            0x9e32_53f6_d67a_0462,
+        ],
+        "per-series seeds from the seed=42 base"
+    );
+
+    // A second base (arbitrary constant) pins the derivation itself,
+    // independent of Scenario.
+    let other: Vec<u64> = (0..3)
+        .map(|i| stream_seed(0x5eed_ba5e, entity_tag(domains::PREDICT_SERIES, i)))
+        .collect();
+    assert_eq!(
+        other,
+        [0x6450_d3a4_5b6f_d879, 0xeea5_94ba_7a30_c4db, 0x6573_b9b0_f312_dacc],
+        "per-series seeds from a fixed base"
+    );
+}
+
+#[test]
 fn campaign_primitives_are_worker_count_invariant() {
     // Same property one layer down, against the probe-crate entry points
     // the studies wrap: throughput rows and the inter-site scan.

@@ -48,8 +48,11 @@ fn serverless_crossover() {
 
 #[test]
 fn predictive_placement_ordering() {
+    use edgescope::experiments::prediction_study::PredictionStudy;
     let scenario = Scenario::new(Scale::Quick, 103);
-    let r = ext_predictive::run(&scenario);
+    let wl = WorkloadStudy::run(&scenario);
+    let study = PredictionStudy::run(&scenario, &wl);
+    let r = ext_predictive::run(&scenario, &study);
     let csv = r.tables[0].to_csv();
     let overload = |row| cell(&csv, row, 1);
     assert!(overload(1) <= overload(0), "forecast <= reactive");
