@@ -26,11 +26,12 @@
 //! * time-series helpers: windowed max/mean resampling, rolling means
 //!   ([`timeseries`])
 //! * aligned text tables and CSV rendering ([`table`])
+//! * mergeable one-pass sketches for bounded-memory (`metro`-scale)
+//!   campaigns: streaming CDF/percentiles, Welford moments, online
+//!   Pearson ([`sketch`])
 //!
 //! ## Intentionally omitted
 //! * No plotting — experiments emit CSV series that plot in any tool.
-//! * No incremental/streaming estimators — campaign result sets comfortably
-//!   fit in memory.
 
 pub mod bootstrap;
 pub mod cdf;
@@ -39,6 +40,7 @@ pub mod imbalance;
 pub mod pearson;
 pub mod regression;
 pub mod seasonality;
+pub mod sketch;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
@@ -50,6 +52,7 @@ pub use imbalance::{gap_max_min, gap_p95_p5, normalized_to_min};
 pub use pearson::pearson;
 pub use regression::{linear_fit, LinearFit};
 pub use seasonality::seasonal_strength;
+pub use sketch::{PercentileSketch, StreamingMoments, StreamingPearson};
 pub use stats::{coefficient_of_variation, mean, median, percentile, rmse, std_dev, Summary};
 pub use table::{Table, TableAlign};
 pub use timeseries::{resample_max, resample_mean, rolling_mean};

@@ -1,0 +1,248 @@
+//! Regenerates `BENCH_scale.json`: end-to-end wall-clock and peak RSS of
+//! the `reproduce` pipeline at each scale tier, and the gate that keeps
+//! the `metro` tier's streaming memory contract honest.
+//!
+//! ```text
+//! cargo run --release -p edgescope-bench --bin scale-bench -- \
+//!     [--tiers quick,paper,metro] [--jobs N] [--out FILE] [--check-rss MAX_MB]
+//! ```
+//!
+//! Each tier runs in a **fresh child process** (the binary re-execs
+//! itself) so one tier's allocator high-water mark cannot pollute the
+//! next tier's reading. The child builds the tier's scenario, executes
+//! `registry_for(scale)` — at `metro` that is the three streaming
+//! experiments; elsewhere the full registry — and reports `VmHWM` from
+//! `/proc/self/status` (Linux peak resident set; `null` in the JSON
+//! where unavailable).
+//!
+//! `--check-rss MAX_MB` exits non-zero if the metro tier's peak RSS
+//! reaches the budget — CI runs `--tiers quick,metro --check-rss 256`,
+//! which is what makes "metro fits in bounded memory" an enforced
+//! contract rather than a doc claim. The committed `BENCH_scale.json`
+//! (schema `edgescope-bench-scale/1`) is produced by this binary at all
+//! three tiers.
+
+use std::process::Command;
+use std::time::Instant;
+
+use edgescope_bench::BENCH_SEED;
+use edgescope_core::experiments::registry_for;
+use edgescope_core::executor::Executor;
+use edgescope_core::{Scale, Scenario};
+
+/// Env var that flips the binary into single-tier child mode.
+const CHILD_ENV: &str = "EDGESCOPE_SCALE_BENCH_CHILD";
+/// Prefix of the one machine-readable line a child prints on stdout.
+const RESULT_PREFIX: &str = "SCALE_BENCH_RESULT";
+
+/// Peak resident set size in kB (`VmHWM`), if the platform exposes it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Child mode: run one tier end to end and print the result line.
+fn run_child(tier: &str, jobs: usize) {
+    let scale = Scale::parse(tier).unwrap_or_else(|| {
+        eprintln!("unknown tier {tier:?}; valid tiers: {}", Scale::NAMES.join(", "));
+        std::process::exit(2);
+    });
+    let t = Instant::now();
+    let scenario = Scenario::new(scale, BENCH_SEED);
+    let specs = registry_for(scale);
+    let n_experiments = specs.len();
+    let execution = Executor::new(jobs).run(&scenario, specs);
+    assert_eq!(execution.reports.len(), n_experiments, "every experiment must report");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "{RESULT_PREFIX} tier={tier} wall_ms={wall_ms:.1} peak_rss_kb={} \
+         experiments={n_experiments} users={} sites={}",
+        peak_rss_kb().unwrap_or(0),
+        scenario.sizing.n_users,
+        scenario.sizing.nep_sites,
+    );
+}
+
+struct TierResult {
+    tier: String,
+    wall_ms: f64,
+    /// 0 when `/proc/self/status` is unavailable (rendered as `null`).
+    peak_rss_kb: u64,
+    experiments: u64,
+    users: u64,
+    sites: u64,
+}
+
+impl TierResult {
+    fn peak_rss_mb(&self) -> Option<f64> {
+        (self.peak_rss_kb > 0).then(|| self.peak_rss_kb as f64 / 1024.0)
+    }
+
+    fn json(&self) -> String {
+        let rss = match self.peak_rss_mb() {
+            Some(mb) => format!("{mb:.1}"),
+            None => "null".into(),
+        };
+        format!(
+            "    \"{}\": {{ \"users\": {}, \"nep_sites\": {}, \"experiments\": {}, \
+             \"wall_ms\": {:.1}, \"peak_rss_mb\": {} }}",
+            self.tier, self.users, self.sites, self.experiments, self.wall_ms, rss
+        )
+    }
+}
+
+/// Parse a child's result line back into a [`TierResult`].
+fn parse_result(tier: &str, stdout: &str) -> TierResult {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with(RESULT_PREFIX))
+        .unwrap_or_else(|| {
+            eprintln!("tier {tier}: child printed no result line; stdout:\n{stdout}");
+            std::process::exit(1);
+        });
+    let field = |key: &str| -> f64 {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("tier {tier}: malformed result line {line:?} (missing {key})");
+                std::process::exit(1);
+            })
+    };
+    TierResult {
+        tier: tier.to_string(),
+        wall_ms: field("wall_ms"),
+        peak_rss_kb: field("peak_rss_kb") as u64,
+        experiments: field("experiments") as u64,
+        users: field("users") as u64,
+        sites: field("sites") as u64,
+    }
+}
+
+fn render(results: &[TierResult], jobs: usize) -> String {
+    let tiers: Vec<String> = results.iter().map(TierResult::json).collect();
+    format!(
+        "{{\n  \"schema\": \"edgescope-bench-scale/1\",\n  \"status\": \"measured\",\n  \
+         \"seed\": {BENCH_SEED},\n  \"workers\": {jobs},\n  \"tiers\": {{\n{}\n  }}\n}}\n",
+        tiers.join(",\n")
+    )
+}
+
+fn main() {
+    let jobs_env = std::env::var("EDGESCOPE_SCALE_BENCH_JOBS").ok();
+    if let Ok(tier) = std::env::var(CHILD_ENV) {
+        let jobs = jobs_env.and_then(|j| j.parse().ok()).unwrap_or(4);
+        run_child(&tier, jobs);
+        return;
+    }
+
+    let mut tiers: Vec<String> = vec!["quick".into(), "paper".into(), "metro".into()];
+    let mut jobs = 4usize;
+    let mut out: Option<String> = None;
+    let mut check_rss: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--tiers" => {
+                tiers = value("--tiers").split(',').map(|t| t.trim().to_string()).collect()
+            }
+            "--jobs" => {
+                jobs = value("--jobs").parse().ok().filter(|&j: &usize| j > 0).unwrap_or_else(
+                    || {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    },
+                )
+            }
+            "--out" => out = Some(value("--out")),
+            "--check-rss" => {
+                check_rss = Some(value("--check-rss").parse().unwrap_or_else(|_| {
+                    eprintln!("--check-rss needs a number (MB)");
+                    std::process::exit(2);
+                }))
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: scale-bench [--tiers t1,t2,...] [--jobs N] [--out FILE] [--check-rss MAX_MB]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    for t in &tiers {
+        if Scale::parse(t).is_none() {
+            eprintln!("unknown tier {t:?}; valid tiers: {}", Scale::NAMES.join(", "));
+            std::process::exit(2);
+        }
+    }
+
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut results = Vec::with_capacity(tiers.len());
+    for tier in &tiers {
+        eprintln!("scale-bench: running tier {tier} ({jobs} jobs)...");
+        let output = Command::new(&exe)
+            .env(CHILD_ENV, tier)
+            .env("EDGESCOPE_SCALE_BENCH_JOBS", jobs.to_string())
+            .output()
+            .unwrap_or_else(|e| {
+                eprintln!("cannot re-exec {exe:?}: {e}");
+                std::process::exit(1);
+            });
+        if !output.status.success() {
+            eprintln!(
+                "tier {tier} failed ({}):\n{}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            );
+            std::process::exit(1);
+        }
+        let r = parse_result(tier, &String::from_utf8_lossy(&output.stdout));
+        eprintln!(
+            "scale-bench: tier {tier}: {} experiment(s), {:.1} s, peak RSS {}",
+            r.experiments,
+            r.wall_ms / 1e3,
+            match r.peak_rss_mb() {
+                Some(mb) => format!("{mb:.0} MB"),
+                None => "unavailable".into(),
+            }
+        );
+        results.push(r);
+    }
+
+    let doc = render(&results, jobs);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+
+    if let Some(max_mb) = check_rss {
+        let metro = results.iter().find(|r| r.tier == "metro").unwrap_or_else(|| {
+            eprintln!("--check-rss needs the metro tier in --tiers");
+            std::process::exit(2);
+        });
+        let Some(mb) = metro.peak_rss_mb() else {
+            eprintln!("FAIL: metro peak RSS unavailable on this platform, cannot enforce budget");
+            std::process::exit(1);
+        };
+        if mb >= max_mb {
+            eprintln!("FAIL: metro peak RSS {mb:.0} MB reaches the {max_mb:.0} MB budget");
+            std::process::exit(1);
+        }
+        println!("check passed: metro peak RSS {mb:.0} MB < {max_mb:.0} MB budget");
+    }
+}

@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of the paper.
 //!
 //! ```text
-//! EDGESCOPE_SCALE=quick|default|paper EDGESCOPE_SEED=42 EDGESCOPE_JOBS=N \
+//! EDGESCOPE_SCALE=quick|default|paper|metro EDGESCOPE_SEED=42 EDGESCOPE_JOBS=N \
 //!     EDGESCOPE_LOG=off|pretty|json \
 //!     cargo run --release -p edgescope-core --bin reproduce -- \
 //!     [--jobs N] [--only fig2a,table3,...] [--log off|pretty|json] [results_dir]
@@ -21,6 +21,11 @@
 //! Reports are byte-identical across worker counts for the same seed.
 //! `--only` filters the registry by experiment name; unknown names abort
 //! with the list of valid names.
+//! An unknown `EDGESCOPE_SCALE` exits 2 with the list of valid tiers
+//! (no silent fallback). At `metro` scale the registry narrows to the
+//! streaming experiments (`metro_latency`, `metro_intersite`,
+//! `metro_workload`) — the batch studies would not fit the tier's
+//! memory budget.
 //! `--log` (or `EDGESCOPE_LOG`) selects span logging on stderr:
 //! `off` (default, stderr carries only the binary's status lines),
 //! `pretty` (one human-readable line per event), or `json` (every
@@ -29,7 +34,7 @@
 //! byte-identical in every mode.
 
 use edgescope_core::executor::{parse_jobs, resolve_jobs, Executor};
-use edgescope_core::experiments::{registry, select_experiments};
+use edgescope_core::experiments::{registry_for, select_experiments};
 use edgescope_core::report::render_html_page_full;
 use edgescope_core::scenario::{Scale, Scenario};
 use edgescope_obs::log::{resolve_log, Emitter, LogFormat};
@@ -40,10 +45,22 @@ const USAGE: &str =
     "usage: reproduce [--jobs N] [--only name1,name2,...] [--log off|pretty|json] [results_dir]";
 
 fn main() -> ExitCode {
-    let scale = std::env::var("EDGESCOPE_SCALE")
-        .ok()
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Default);
+    // An unknown EDGESCOPE_SCALE is an error, not a silent fallback — a
+    // typo like `metro ` or `big` must not quietly run Default-scale
+    // experiments and overwrite results.
+    let scale = match std::env::var("EDGESCOPE_SCALE") {
+        Err(_) => Scale::Default,
+        Ok(s) => match Scale::parse(&s) {
+            Some(scale) => scale,
+            None => {
+                eprintln!(
+                    "error: unknown EDGESCOPE_SCALE {s:?}; valid tiers: {}",
+                    Scale::NAMES.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
     let seed = std::env::var("EDGESCOPE_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -105,8 +122,8 @@ fn main() -> ExitCode {
     let jobs = resolve_jobs(jobs_arg.as_deref(), std::env::var("EDGESCOPE_JOBS").ok().as_deref());
 
     let specs = match only_arg.as_deref() {
-        None => registry(),
-        Some(only) => match select_experiments(registry(), only) {
+        None => registry_for(scale),
+        Some(only) => match select_experiments(registry_for(scale), only) {
             Ok(specs) => specs,
             Err(e) => {
                 say(&format!("error: {e}"));

@@ -43,7 +43,7 @@
 
 use crate::experiments::{
     latency_study::LatencyStudy, prediction_study::PredictionStudy,
-    workload_study::WorkloadStudy,
+    streaming_study::StreamingStudy, workload_study::WorkloadStudy,
 };
 use crate::experiments::{ExperimentSpec, Studies};
 use crate::report::ExperimentReport;
@@ -60,7 +60,8 @@ use std::time::Instant;
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimedEntry {
     /// What was timed — an experiment name, or `study:latency` /
-    /// `study:workload` / `study:prediction` for the shared stages.
+    /// `study:workload` / `study:prediction` / `study:streaming` for the
+    /// shared stages.
     pub name: String,
     /// Worker threads this entry ran with: the executor's `--jobs` for
     /// data-parallel study builds, 1 for experiments (each runs entirely
@@ -76,7 +77,7 @@ pub struct Timings {
     /// Worker threads the campaign ran with.
     pub jobs: usize,
     /// Shared study builds (`study:latency`, `study:workload`,
-    /// `study:prediction`), in build order.
+    /// `study:prediction`, `study:streaming`), in build order.
     pub stages: Vec<TimedEntry>,
     /// One entry per experiment, in registry order.
     pub experiments: Vec<TimedEntry>,
@@ -147,7 +148,7 @@ impl Timings {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScopeMetrics {
     /// Scope name: an experiment name, or `study:latency` /
-    /// `study:workload` / `study:prediction`.
+    /// `study:workload` / `study:prediction` / `study:streaming`.
     pub name: String,
     /// `"stage"` for study builds, `"experiment"` for experiments —
     /// matching the `kind` column of `timings.csv`.
@@ -336,6 +337,7 @@ impl Executor {
         // The prediction study trains on the trace pair, so it forces a
         // workload build even when no spec reads the traces directly.
         let need_workload = specs.iter().any(|s| s.needs.workload) || need_prediction;
+        let need_streaming = specs.iter().any(|s| s.needs.streaming);
         emitter.event(
             "executor",
             "campaign.start",
@@ -418,6 +420,28 @@ impl Executor {
             });
             stage_metrics.push(ScopeMetrics {
                 name: "study:prediction".into(),
+                kind: "stage",
+                set,
+            });
+        }
+        if need_streaming {
+            emitter.event("executor", "study.start", &[("study", Field::Str("streaming"))]);
+            let t = Instant::now();
+            let (study, set) = obs::scoped(|| StreamingStudy::run_jobs(scenario, self.jobs));
+            let ms = elapsed_ms(t);
+            emitter.event(
+                "executor",
+                "study.close",
+                &[("study", Field::Str("streaming")), ("wall_ms", Field::F64(ms))],
+            );
+            studies.streaming = Some(study);
+            stages.push(TimedEntry {
+                name: "study:streaming".into(),
+                workers: self.jobs,
+                wall_ms: ms,
+            });
+            stage_metrics.push(ScopeMetrics {
+                name: "study:streaming".into(),
                 kind: "stage",
                 set,
             });

@@ -6,10 +6,15 @@
 //! ([`workload_study::WorkloadStudy`]); the prediction experiments
 //! (fig14, ext_predictors, ext_predictive) share one set of trained
 //! forecasters ([`prediction_study::PredictionStudy`], built *from* the
-//! workload study). The [`registry`] names every experiment (name ==
-//! report id, e.g. `fig2a`) together with the shared studies it
-//! [`Needs`]; the [`crate::executor::Executor`] builds the needed
-//! studies once and fans the runners out over worker threads.
+//! workload study); the metro experiments (metro_latency,
+//! metro_intersite, metro_workload) share one set of streaming sketch
+//! aggregates ([`streaming_study::StreamingStudy`]). The [`registry`]
+//! names every experiment (name == report id, e.g. `fig2a`) together
+//! with the shared studies it [`Needs`]; the
+//! [`crate::executor::Executor`] builds the needed studies once and fans
+//! the runners out over worker threads. [`registry_for`] narrows the
+//! registry by scale — at [`Scale::Metro`] only the streaming
+//! experiments run, which is what keeps the tier's memory bounded.
 //! [`run_all`] is the serial convenience wrapper that regenerates every
 //! artefact in paper order.
 
@@ -35,8 +40,10 @@ pub mod ext_predictive;
 pub mod ext_predictors;
 pub mod fig9;
 pub mod latency_study;
+pub mod metro;
 pub mod prediction_study;
 pub mod sales_rate;
+pub mod streaming_study;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -46,7 +53,7 @@ pub mod table6;
 pub mod workload_study;
 
 use crate::report::ExperimentReport;
-use crate::scenario::Scenario;
+use crate::scenario::{Scale, Scenario};
 
 /// The shared study state experiments draw on. The executor builds only
 /// the studies the selected experiments [`Needs`] declare.
@@ -59,12 +66,14 @@ pub struct Studies {
     /// The trained forecasters (fig14, ext_predictors, ext_predictive),
     /// if built.
     pub prediction: Option<prediction_study::PredictionStudy>,
+    /// The streaming sketch aggregates (metro_*), if built.
+    pub streaming: Option<streaming_study::StreamingStudy>,
 }
 
 impl Studies {
     /// No studies built — enough for experiments with no [`Needs`].
     pub fn none() -> Self {
-        Studies { latency: None, workload: None, prediction: None }
+        Studies { latency: None, workload: None, prediction: None, streaming: None }
     }
 
     /// The latency study. Panics if the executor did not build it — a
@@ -86,6 +95,14 @@ impl Studies {
             .as_ref()
             .expect("prediction study not built: spec must declare needs.prediction")
     }
+
+    /// The streaming study. Panics if the executor did not build it — a
+    /// registry entry forgot to declare `Needs::streaming`.
+    pub fn streaming(&self) -> &streaming_study::StreamingStudy {
+        self.streaming
+            .as_ref()
+            .expect("streaming study not built: spec must declare needs.streaming")
+    }
 }
 
 /// Which shared studies an experiment reads.
@@ -98,17 +115,22 @@ pub struct Needs {
     /// Reads the trained forecasters (implies the executor also builds
     /// the workload study, the prediction study's input).
     pub prediction: bool,
+    /// Reads the streaming sketch aggregates — the only study kind the
+    /// metro tier builds.
+    pub streaming: bool,
 }
 
 /// No shared study.
-const NONE: Needs = Needs { latency: false, workload: false, prediction: false };
+const NONE: Needs = Needs { latency: false, workload: false, prediction: false, streaming: false };
 /// The latency campaign only.
-const LAT: Needs = Needs { latency: true, workload: false, prediction: false };
+const LAT: Needs = Needs { latency: true, workload: false, prediction: false, streaming: false };
 /// The trace pair only.
-const WL: Needs = Needs { latency: false, workload: true, prediction: false };
+const WL: Needs = Needs { latency: false, workload: true, prediction: false, streaming: false };
 /// The trained forecasters only (the executor builds the trace pair
 /// too, as the prediction study's input).
-const PRED: Needs = Needs { latency: false, workload: false, prediction: true };
+const PRED: Needs = Needs { latency: false, workload: false, prediction: true, streaming: false };
+/// The streaming sketch aggregates only.
+const STREAM: Needs = Needs { latency: false, workload: false, prediction: false, streaming: true };
 
 /// The uniform runner signature every registry entry adapts to.
 pub type Runner = fn(&Scenario, &Studies) -> ExperimentReport;
@@ -140,8 +162,9 @@ impl ExperimentSpec {
 }
 
 /// Every experiment in paper order — 19 paper artefacts, 2 appendix
-/// tables, 8 extensions. Names match report ids, so `reproduce --only
-/// fig2a,table3` selects by the ids printed in reports and EXPERIMENTS.md.
+/// tables, 8 extensions, 3 metro-scale streaming analogues. Names match
+/// report ids, so `reproduce --only fig2a,table3` selects by the ids
+/// printed in reports and EXPERIMENTS.md.
 pub fn registry() -> Vec<ExperimentSpec> {
     vec![
         ExperimentSpec::new("table1", NONE, |_, _| table1::run()),
@@ -175,7 +198,27 @@ pub fn registry() -> Vec<ExperimentSpec> {
         ExperimentSpec::new("ext_fragmentation", NONE, |sc, _| ext_fragmentation::run(sc)),
         ExperimentSpec::new("ext_billing", WL, |sc, st| ext_billing::run(sc, st.workload())),
         ExperimentSpec::new("ext_framesim", NONE, |sc, _| ext_framesim::run(sc)),
+        ExperimentSpec::new("metro_latency", STREAM, |_, st| metro::run_latency(st.streaming())),
+        ExperimentSpec::new("metro_intersite", STREAM, |_, st| {
+            metro::run_intersite(st.streaming())
+        }),
+        ExperimentSpec::new("metro_workload", STREAM, |_, st| metro::run_workload(st.streaming())),
     ]
+}
+
+/// The registry an end-to-end run at `scale` should execute.
+///
+/// At [`Scale::Metro`] only the streaming experiments are selected: the
+/// batch studies would materialize the full crowd / trace series and
+/// blow the tier's memory budget, and the tier exists to measure the
+/// streaming paths. Every other scale runs the full [`registry`] —
+/// including the metro analogues, whose sketches can then be compared
+/// against the batch fig2/fig4/fig10 artefacts from the same world.
+pub fn registry_for(scale: Scale) -> Vec<ExperimentSpec> {
+    match scale {
+        Scale::Metro => registry().into_iter().filter(|s| s.needs.streaming).collect(),
+        _ => registry(),
+    }
 }
 
 /// Filter `specs` down to the comma-separated names in `only`
@@ -226,6 +269,7 @@ mod tests {
             "table1", "fig2a", "fig2b", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
             "table6", "fig8", "fig9", "sales", "fig10", "fig11", "fig12", "fig13", "fig14",
             "table3", "table4", "table5", "ext_gslb", "ext_migration", "ext_elastic", "ext_predictive", "ext_predictors", "ext_fragmentation", "ext_billing", "ext_framesim",
+            "metro_latency", "metro_intersite", "metro_workload",
         ] {
             assert!(ids.contains(&want), "missing {want}; got {ids:?}");
         }
@@ -268,6 +312,21 @@ mod tests {
                 picked[0].needs.prediction && !picked[0].needs.workload,
                 "{name} needs the prediction study only"
             );
+        }
+    }
+
+    #[test]
+    fn metro_registry_selects_streaming_experiments_only() {
+        let metro = registry_for(Scale::Metro);
+        let names: Vec<&str> = metro.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["metro_latency", "metro_intersite", "metro_workload"]);
+        assert!(metro.iter().all(|s| {
+            s.needs.streaming && !s.needs.latency && !s.needs.workload && !s.needs.prediction
+        }));
+        // Every other scale runs the full registry, metro analogues
+        // included.
+        for scale in [Scale::Quick, Scale::Default, Scale::Paper] {
+            assert_eq!(registry_for(scale).len(), registry().len(), "{scale:?}");
         }
     }
 }

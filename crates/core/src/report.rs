@@ -260,7 +260,7 @@ mod tests {
         let r = ExperimentReport::new("figW", "demo");
         let mut t = Table::new("Execution timings (2 worker(s))", &["name", "kind", "wall_ms"]);
         t.row(vec!["fig2a".into(), "experiment".into(), "12.5".into()]);
-        let page = render_html_page_with_timings("EdgeScope", &[r.clone()], &[t]);
+        let page = render_html_page_with_timings("EdgeScope", std::slice::from_ref(&r), &[t]);
         assert!(page.contains("<a href=\"#timings\">timings</a>"));
         assert!(page.contains("<section id=\"timings\">"));
         assert!(page.contains("<td>fig2a</td>"));
@@ -273,7 +273,7 @@ mod tests {
         let r = ExperimentReport::new("figV", "demo");
         let mut m = Table::new("Campaign metrics (totals)", &["name", "kind", "value"]);
         m.row(vec!["net.probes_sent".into(), "counter".into(), "5040".into()]);
-        let page = render_html_page_full("EdgeScope", &[r.clone()], &[], &[m]);
+        let page = render_html_page_full("EdgeScope", std::slice::from_ref(&r), &[], &[m]);
         assert!(page.contains("<a href=\"#metrics\">metrics</a>"));
         assert!(page.contains("<section id=\"metrics\">"));
         assert!(page.contains("<h2>Campaign metrics</h2>"));

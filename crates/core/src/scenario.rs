@@ -2,7 +2,7 @@
 //!
 //! A [`Scenario`] owns everything an experiment needs: the NEP and cloud
 //! deployments, the crowd, the path/TCP models, and the trace-generation
-//! parameters. Three scales ship:
+//! parameters. Four scales ship:
 //!
 //! * [`Scale::Paper`] — the paper's campaign size (520 edge sites, 158
 //!   users, 92-day traces at 1-min CPU). Minutes of CPU; use for final
@@ -10,6 +10,15 @@
 //! * [`Scale::Default`] — a reduction (≈150 sites, 100 users, 28-day
 //!   compact traces) that preserves every statistic the paper reports.
 //! * [`Scale::Quick`] — CI-sized.
+//! * [`Scale::Metro`] — a what-if tier *above* the paper: hundreds of
+//!   thousands of virtual users against thousands of edge sites, feasible
+//!   on bounded memory because its experiments run the streaming
+//!   (sketch-based) campaign variants only. A metro scenario never
+//!   materializes the crowd — `users` is empty and the streaming
+//!   campaigns recruit user *i* on the fly from its own RNG stream — so
+//!   scenario memory stays flat in `n_users`. See ARCHITECTURE.md
+//!   ("Scale tiers and memory model") and `BENCH_scale.json` for the
+//!   measured peak-RSS contract.
 //!
 //! # Determinism contract
 //!
@@ -63,6 +72,10 @@ pub enum Scale {
     Default,
     /// CI-sized.
     Quick,
+    /// Metro scale: 200 k streaming users against 2 000 edge sites on
+    /// bounded memory (sketch campaigns only; the crowd is never
+    /// materialized).
+    Metro,
 }
 
 impl Scale {
@@ -73,9 +86,15 @@ impl Scale {
             "paper" => Some(Scale::Paper),
             "default" => Some(Scale::Default),
             "quick" => Some(Scale::Quick),
+            "metro" => Some(Scale::Metro),
             _ => None,
         }
     }
+
+    /// Every tier name [`Scale::parse`] accepts, in documentation order —
+    /// the `reproduce` binary lists these when rejecting an unknown
+    /// `EDGESCOPE_SCALE`.
+    pub const NAMES: [&'static str; 4] = ["quick", "default", "paper", "metro"];
 }
 
 /// Scale-dependent sizing knobs.
@@ -168,32 +187,57 @@ impl Scenario {
                 qoe_samples: 25,
                 table3_apps: 15,
             },
+            Scale::Metro => Sizing {
+                nep_sites: 2000,
+                n_users: 200_000,
+                // 4 probes per target bound wall-clock at 200 k users;
+                // the sketch campaign still folds millions of probes.
+                pings_per_target: 4,
+                trace_sites: 300,
+                trace_apps: 600,
+                trace_config: TraceConfig {
+                    days: 30,
+                    cpu_interval_min: 5,
+                    bw_interval_min: 15,
+                    start_weekday: 0,
+                },
+                // The batch-only studies never run at metro scale
+                // (`registry_for(Scale::Metro)` selects the streaming
+                // experiments only); these knobs just keep the struct
+                // total.
+                predict_vms: 16,
+                qoe_samples: 50,
+                table3_apps: 30,
+            },
         };
-        let mut rng = StdRng::seed_from_u64(seed);
-        let nep = Deployment::nep(&mut rng, sizing.nep_sites);
-        let users = recruit(&mut rng, sizing.n_users);
-        Scenario {
-            seed,
-            scale,
-            sizing,
-            nep,
-            alicloud: Deployment::alicloud(),
-            huawei: Deployment::huawei_cloud(),
-            users,
-            path_model: PathModel::paper_default(),
-            tcp_model: ThroughputModel::paper_default(),
-        }
+        Self::with_scale_sizing(scale, sizing, seed)
     }
 
     /// Build a scenario with explicit sizing (custom studies that need,
     /// say, a bigger crowd on a small deployment).
     pub fn with_sizing(sizing: Sizing, seed: u64) -> Self {
+        Self::with_scale_sizing(Scale::Quick, sizing, seed)
+    }
+
+    /// Build a scenario at an explicit `(scale, sizing)` pair — the
+    /// general constructor behind [`Scenario::new`] and
+    /// [`Scenario::with_sizing`]. Tests use it to run the metro
+    /// (streaming) experiment set on a tiny world.
+    ///
+    /// At [`Scale::Metro`] the crowd is *not* materialized: `users` stays
+    /// empty (the streaming campaigns recruit user `i` from the
+    /// `(stream_seed, entity_tag(LATENCY_USER, i))` stream on the fly),
+    /// which keeps scenario memory flat in `sizing.n_users`. All other
+    /// scales recruit the crowd from the raw world seed exactly as
+    /// before.
+    pub fn with_scale_sizing(scale: Scale, sizing: Sizing, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let nep = Deployment::nep(&mut rng, sizing.nep_sites);
-        let users = recruit(&mut rng, sizing.n_users);
+        let users =
+            if scale == Scale::Metro { Vec::new() } else { recruit(&mut rng, sizing.n_users) };
         Scenario {
             seed,
-            scale: Scale::Quick,
+            scale,
             sizing,
             nep,
             alicloud: Deployment::alicloud(),
@@ -231,15 +275,22 @@ mod tests {
         assert_eq!(Scale::parse("Default"), Some(Scale::Default));
         assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
         assert_eq!(Scale::parse("QuIcK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("metro"), Some(Scale::Metro));
+        assert_eq!(Scale::parse("Metro"), Some(Scale::Metro));
         assert_eq!(Scale::parse("gigantic"), None);
     }
 
     #[test]
     fn scale_parse_rejects_junk_cleanly() {
-        // The reproduce binary falls back to Scale::Default on None, so
-        // parse must return None (not panic) for anything unexpected.
+        // The reproduce binary rejects a None with exit code 2 and the
+        // list of valid tiers, so parse must return None (not panic, not
+        // guess) for anything unexpected.
         for junk in ["", " ", "quick ", " paper", "default\n", "2", "-1", "qu1ck", "paper,quick"] {
             assert_eq!(Scale::parse(junk), None, "{junk:?} must not parse");
+        }
+        // Every advertised tier name round-trips.
+        for name in Scale::NAMES {
+            assert!(Scale::parse(name).is_some(), "{name} must parse");
         }
     }
 
@@ -270,6 +321,18 @@ mod tests {
         let s = Scenario::with_sizing(sizing, 2);
         assert_eq!(s.nep.n_sites(), 25);
         assert_eq!(s.users.len(), 11);
+    }
+
+    #[test]
+    fn metro_never_materializes_the_crowd() {
+        let mut sizing = Scenario::new(Scale::Quick, 1).sizing;
+        sizing.nep_sites = 20;
+        sizing.n_users = 10_000;
+        let s = Scenario::with_scale_sizing(Scale::Metro, sizing, 3);
+        assert_eq!(s.scale, Scale::Metro);
+        assert!(s.users.is_empty(), "metro scenarios must not recruit the crowd up front");
+        assert_eq!(s.sizing.n_users, 10_000, "the streaming campaigns still see the count");
+        assert_eq!(s.nep.n_sites(), 20);
     }
 
     #[test]

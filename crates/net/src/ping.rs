@@ -74,6 +74,72 @@ impl PingStats {
     }
 }
 
+/// Streaming summary of one ping run: the same mean/std/CV contract as
+/// [`PingStats`], held in O(1) memory instead of a per-probe RTT vector.
+///
+/// This is the building block of the `metro` scale tier, where a campaign
+/// fires hundreds of millions of probes and cannot keep them. Moments are
+/// accumulated with Welford's update, so for the same probe sequence
+/// `mean_rtt_ms`/`std_rtt_ms`/`cv` agree with [`PingStats`] to floating-
+/// point round-off (the exact summation order differs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProbeMoments {
+    /// Probes that returned.
+    pub returned: u64,
+    /// Probes that were lost (path loss or injected drop).
+    pub lost: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl ProbeMoments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one returned probe's RTT.
+    pub fn add(&mut self, rtt_ms: f64) {
+        self.returned += 1;
+        let delta = rtt_ms - self.mean;
+        self.mean += delta / self.returned as f64;
+        self.m2 += delta * (rtt_ms - self.mean);
+    }
+
+    /// Number of probes sent.
+    pub fn sent(&self) -> u64 {
+        self.returned + self.lost
+    }
+
+    /// Mean RTT of returned probes; `None` if everything was lost.
+    pub fn mean_rtt_ms(&self) -> Option<f64> {
+        (self.returned > 0).then_some(self.mean)
+    }
+
+    /// Population std-dev of returned probes; `None` if fewer than two.
+    pub fn std_rtt_ms(&self) -> Option<f64> {
+        (self.returned >= 2).then(|| (self.m2 / self.returned as f64).sqrt())
+    }
+
+    /// Coefficient of variation (std/mean); `None` if fewer than two
+    /// probes returned or the mean is non-positive.
+    pub fn cv(&self) -> Option<f64> {
+        match (self.std_rtt_ms(), self.mean_rtt_ms()) {
+            (Some(s), Some(m)) if m > 0.0 => Some(s / m),
+            _ => None,
+        }
+    }
+
+    /// Fraction of probes lost.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent() == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent() as f64
+        }
+    }
+}
+
 /// Ping engine with optional fault injection.
 #[derive(Debug, Clone, Default)]
 pub struct PingEngine {
@@ -127,6 +193,35 @@ impl PingEngine {
             rtts_ms: rtts,
             lost,
         }
+    }
+
+    /// Streaming variant of [`probe`](Self::probe): same probe loop, same
+    /// RNG draw order (the two are interchangeable without perturbing any
+    /// downstream stream), same obs counters and `net.rtt_ms` histogram —
+    /// but the per-probe RTTs are folded into a [`ProbeMoments`] instead
+    /// of being kept, so memory stays O(1) in `n`.
+    pub fn probe_moments(&self, rng: &mut impl Rng, path: &Path, n: usize) -> ProbeMoments {
+        let mut moments = ProbeMoments::new();
+        let loss_p = path.loss_probability();
+        let mean = path.mean_rtt_ms();
+        obs::counter_add("net.probes_sent", n as u64);
+        for _ in 0..n {
+            if rng.gen::<f64>() < loss_p {
+                moments.lost += 1;
+                obs::counter_inc("net.probes_lost_path");
+                continue;
+            }
+            if self.fault.drops(rng) {
+                moments.lost += 1;
+                obs::counter_inc("net.probes_dropped_fault");
+                continue;
+            }
+            let raw = path.sample_rtt_ms(rng);
+            let rtt = self.fault.amplify_jitter(mean, raw);
+            obs::observe("net.rtt_ms", rtt, &RTT_BOUNDS_MS);
+            moments.add(rtt);
+        }
+        moments
     }
 }
 
@@ -220,6 +315,69 @@ mod tests {
         assert!(set.counter("net.probes_dropped_fault") > 0);
         let h = set.histogram("net.rtt_ms").expect("returned probes recorded");
         assert_eq!(h.count() as usize, clean.rtts_ms.len());
+    }
+
+    #[test]
+    fn probe_moments_matches_probe_exactly() {
+        // Same seed, same path: the streaming run must consume the RNG
+        // identically and reproduce the batch statistics to round-off.
+        let path = sample_path(21);
+        let eng = PingEngine::with_fault(FaultInjector::hostile());
+        let mut rng_a = StdRng::seed_from_u64(22);
+        let mut rng_b = StdRng::seed_from_u64(22);
+        let batch = eng.probe(&mut rng_a, &path, 30);
+        let stream = eng.probe_moments(&mut rng_b, &path, 30);
+        assert_eq!(stream.sent(), 30);
+        assert_eq!(stream.lost as usize, batch.lost);
+        assert_eq!(stream.returned as usize, batch.rtts_ms.len());
+        let close = |a: Option<f64>, b: Option<f64>| match (a, b) {
+            (Some(a), Some(b)) => (a - b).abs() < 1e-9,
+            (None, None) => true,
+            _ => false,
+        };
+        assert!(close(stream.mean_rtt_ms(), batch.mean_rtt_ms()));
+        assert!(close(stream.std_rtt_ms(), batch.std_rtt_ms()));
+        assert!(close(stream.cv(), batch.cv()));
+        // And the RNG streams stay in lock-step after the run.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn probe_moments_counters_match_probe() {
+        let path = sample_path(23);
+        let eng = PingEngine::with_fault(FaultInjector::hostile());
+        let run = |streaming: bool| {
+            obs::scoped(|| {
+                let mut rng = StdRng::seed_from_u64(24);
+                if streaming {
+                    eng.probe_moments(&mut rng, &path, 40);
+                } else {
+                    eng.probe(&mut rng, &path, 40);
+                }
+            })
+            .1
+        };
+        let (batch, stream) = (run(false), run(true));
+        for c in ["net.probes_sent", "net.probes_lost_path", "net.probes_dropped_fault"] {
+            assert_eq!(stream.counter(c), batch.counter(c), "{c}");
+        }
+        assert_eq!(
+            stream.histogram("net.rtt_ms").map(|h| h.count()),
+            batch.histogram("net.rtt_ms").map(|h| h.count())
+        );
+    }
+
+    #[test]
+    fn probe_moments_edge_cases() {
+        let m = ProbeMoments::new();
+        assert_eq!(m.sent(), 0);
+        assert_eq!(m.mean_rtt_ms(), None);
+        assert_eq!(m.loss_rate(), 0.0);
+        let mut one = ProbeMoments::new();
+        one.add(12.5);
+        assert_eq!(one.mean_rtt_ms(), Some(12.5));
+        assert_eq!(one.std_rtt_ms(), None, "no dispersion from one sample");
+        assert_eq!(one.cv(), None);
     }
 
     #[test]

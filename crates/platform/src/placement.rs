@@ -259,11 +259,9 @@ mod tests {
         let gd = d.sites_in_province("Guangdong");
         assert!(gd.len() >= 2);
         let hot = gd[0];
-        let mut preload_vm = 10_000;
-        for server in &mut d.sites[hot].servers {
+        for (preload_vm, server) in (10_000..).zip(d.sites[hot].servers.iter_mut()) {
             let spec = VmSpec::new(server.capacity.cpu_cores - 1, 1, 1, 0.0);
             server.allocate(VmId(preload_vm), spec);
-            preload_vm += 1;
         }
         let mut next = 0;
         let req = SubscriptionRequest {

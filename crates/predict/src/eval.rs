@@ -13,7 +13,7 @@
 //! `jobs` crossbeam worker threads with the same deterministic pattern as
 //! the campaign loops in `edgescope-probe`/`edgescope-trace`:
 //!
-//! * every series is handled by [`crate::pool::fan_out`] in strided
+//! * every series is handled by `pool::fan_out` in strided
 //!   assignment, and the per-series results merge back **in series-index
 //!   order**;
 //! * the LSTM's per-series seed comes from its own RNG stream —

@@ -18,7 +18,10 @@
 //!   sites, plus the "nearby sites within 5/10/20 ms" counts;
 //! * [`records`] — the campaign artefact format (the paper's promised
 //!   performance-dataset release): lossless TSV round-trip from which all
-//!   §3.1 aggregations recompute.
+//!   §3.1 aggregations recompute;
+//! * [`stream`] — the metro-scale streaming variants: the same campaigns
+//!   folded into mergeable one-pass sketches chunk by chunk, so memory
+//!   stays flat in the number of users and site pairs.
 //!
 //! ## Parallelism and determinism
 //! The latency, throughput, and inter-site campaigns are data-parallel
@@ -45,11 +48,16 @@ pub mod intersite;
 pub mod latency;
 mod pool;
 pub mod records;
+pub mod stream;
 pub mod throughput;
 pub mod user;
 
 pub use intersite::{intersite_scan, intersite_scan_jobs, IntersiteScan};
 pub use latency::{LatencyCampaign, LatencyConfig, TargetStats, UserResult};
 pub use records::{campaign_from_tsv, campaign_to_tsv};
+pub use stream::{
+    streaming_intersite_scan_jobs, LatencySketchCampaign, SketchCampaignConfig, SketchSeries,
+    StreamingIntersiteScan,
+};
 pub use throughput::{throughput_campaign, throughput_campaign_jobs, ThroughputConfig, ThroughputRow};
-pub use user::{recruit, VirtualUser};
+pub use user::{recruit, recruit_one, VirtualUser};

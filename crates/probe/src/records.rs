@@ -283,7 +283,7 @@ mod tests {
         }
         // Truncate a line.
         let mut lines: Vec<&str> = tsv.lines().collect();
-        let broken = lines[1].rsplitn(2, '\t').nth(1).unwrap().to_string();
+        let broken = lines[1].rsplit_once('\t').unwrap().0.to_string();
         lines[1] = &broken;
         assert!(campaign_from_tsv(&lines.join("\n")).is_err());
     }

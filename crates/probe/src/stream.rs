@@ -1,0 +1,590 @@
+//! Streaming (metro-scale) campaign variants.
+//!
+//! The paper-scale campaigns in [`latency`](crate::latency) and
+//! [`intersite`](crate::intersite) keep every per-user / per-pair
+//! measurement so the experiments can slice them freely. At the `metro`
+//! tier — hundreds of thousands of virtual users, thousands of sites —
+//! that is tens of gigabytes of `TargetStats`, so the variants here fold
+//! each measurement into mergeable one-pass sketches
+//! ([`PercentileSketch`], [`StreamingMoments`], [`StreamingPearson`])
+//! the moment it is produced and never keep it.
+//!
+//! ## Determinism contract
+//! Entities (users / source sites) are processed in fixed-size chunks —
+//! the chunk size is a constant, **never** derived from the worker
+//! count — and each entity draws from its own RNG stream. Workers fill
+//! one accumulator per chunk; `pool::fan_out` returns the chunk
+//! accumulators in chunk order and they are merged in that order. Sketch
+//! merges are exact (integer bucket counts), moment merges are
+//! floating-point but always happen in the same chunk order, so results
+//! and enclosing metric sets are byte-identical for every `--jobs`
+//! value — the same gate the paper-scale campaigns pass.
+//!
+//! ## Memory contract
+//! Peak memory is `O(chunks_in_flight × sketch_size)` — a few hundred
+//! kilobytes — independent of the number of users, sites, and probes.
+//! This is what makes the `metro` scale tier feasible; see
+//! `BENCH_scale.json` for the measured peak-RSS budget.
+
+use crate::user::recruit_one;
+use edgescope_analysis::sketch::{PercentileSketch, StreamingMoments, StreamingPearson};
+use edgescope_net::fault::FaultInjector;
+use edgescope_net::path::{Path, PathModel, TargetClass};
+use edgescope_net::ping::PingEngine;
+use edgescope_net::rng::{domains, entity_tag, stream_rng};
+use edgescope_obs as obs;
+use edgescope_platform::deployment::Deployment;
+use rand::Rng;
+
+/// Users folded per chunk accumulator. A constant so chunk boundaries —
+/// and therefore the moment-merge order — never depend on `jobs`.
+const USER_CHUNK: usize = 4096;
+
+/// Source sites folded per chunk accumulator in the inter-site scan.
+const SITE_CHUNK: usize = 64;
+
+/// Relative accuracy of every RTT/CV sketch in this module.
+const SKETCH_ALPHA: f64 = 0.01;
+
+fn rtt_sketch() -> PercentileSketch {
+    // 0.1 ms .. 10 s covers every path the models can produce.
+    PercentileSketch::new(SKETCH_ALPHA, 0.1, 10_000.0)
+}
+
+fn cv_sketch() -> PercentileSketch {
+    PercentileSketch::new(SKETCH_ALPHA, 1e-4, 100.0)
+}
+
+/// The four Fig. 2 baselines as streaming sketches (the sketch analogue
+/// of [`crate::latency::Fig2Series`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchSeries {
+    /// Per-user values for the nearest edge site.
+    pub nearest_edge: PercentileSketch,
+    /// Per-user values for the 3rd-nearest edge site.
+    pub third_edge: PercentileSketch,
+    /// Per-user values for the nearest cloud region.
+    pub nearest_cloud: PercentileSketch,
+    /// Per-user means across all cloud regions.
+    pub all_clouds: PercentileSketch,
+}
+
+impl SketchSeries {
+    fn new(proto: fn() -> PercentileSketch) -> Self {
+        SketchSeries {
+            nearest_edge: proto(),
+            third_edge: proto(),
+            nearest_cloud: proto(),
+            all_clouds: proto(),
+        }
+    }
+
+    fn merge(&mut self, other: &SketchSeries) {
+        self.nearest_edge.merge(&other.nearest_edge);
+        self.third_edge.merge(&other.third_edge);
+        self.nearest_cloud.merge(&other.nearest_cloud);
+        self.all_clouds.merge(&other.all_clouds);
+    }
+}
+
+/// Configuration of the streaming latency campaign.
+#[derive(Debug, Clone)]
+pub struct SketchCampaignConfig {
+    /// Probes per target (paper: 30; metro uses fewer to bound wall-clock).
+    pub pings_per_target: usize,
+    /// Edge sites each user probes: the `k` nearest by great-circle
+    /// distance (a metro-scale user cannot ping thousands of sites; the
+    /// paper's nearest/3rd-nearest/nearest-cloud figures only need the
+    /// local neighbourhood). Clamped to the deployment size; at least 3
+    /// survivors are needed for a user to count as complete.
+    pub edge_candidates: usize,
+    /// Fault injection applied to every probe.
+    pub fault: FaultInjector,
+}
+
+impl Default for SketchCampaignConfig {
+    fn default() -> Self {
+        SketchCampaignConfig {
+            pings_per_target: 30,
+            edge_candidates: 16,
+            fault: FaultInjector::none(),
+        }
+    }
+}
+
+/// Streaming latency campaign results: the Fig. 2 distributions as
+/// sketches, pooled across access networks.
+///
+/// The paper-scale [`crate::latency::LatencyCampaign`] retains the
+/// per-access split; the metro tier pools it (the per-access medians are
+/// within a few ms of each other and the tier exists to measure scale
+/// behaviour, not access-network contrasts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySketchCampaign {
+    /// Mean-RTT sketches for the four baselines (Fig. 2a analogue).
+    pub rtt: SketchSeries,
+    /// RTT-CV sketches for the four baselines (Fig. 2b analogue).
+    pub cv: SketchSeries,
+    /// Welford moments of the nearest-edge mean RTT (summary statistics
+    /// without a second pass).
+    pub nearest_edge_moments: StreamingMoments,
+    /// Users with ≥3 measured edge targets and ≥1 measured cloud target.
+    pub users_complete: u64,
+    /// Users dropped for losing too many targets.
+    pub users_partial: u64,
+}
+
+impl LatencySketchCampaign {
+    fn empty() -> Self {
+        LatencySketchCampaign {
+            rtt: SketchSeries::new(rtt_sketch),
+            cv: SketchSeries::new(cv_sketch),
+            nearest_edge_moments: StreamingMoments::new(),
+            users_complete: 0,
+            users_partial: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &LatencySketchCampaign) {
+        self.rtt.merge(&other.rtt);
+        self.cv.merge(&other.cv);
+        self.nearest_edge_moments.merge(&other.nearest_edge_moments);
+        self.users_complete += other.users_complete;
+        self.users_partial += other.users_partial;
+    }
+
+    /// Run the streaming campaign over `n_users` synthetic users and up
+    /// to `jobs` worker threads.
+    ///
+    /// User `i` is recruited *and* probed from the
+    /// `(seed, entity_tag(LATENCY_USER, i))` stream, so the crowd is
+    /// never materialized; memory stays flat in `n_users`. Metrics use
+    /// one scope per chunk, replayed in chunk order.
+    pub fn run_jobs(
+        seed: u64,
+        n_users: usize,
+        model: &PathModel,
+        edge: &Deployment,
+        cloud: &Deployment,
+        cfg: &SketchCampaignConfig,
+        jobs: usize,
+    ) -> Self {
+        Self::run_chunked(seed, n_users, model, edge, cloud, cfg, jobs, USER_CHUNK)
+    }
+
+    /// [`Self::run_jobs`] with an explicit chunk size, so tests can
+    /// exercise multi-chunk merging on small worlds. Results are
+    /// invariant in `jobs` for any fixed `chunk`; `chunk` itself changes
+    /// only the floating-point moment roll-up, never the sketches.
+    #[allow(clippy::too_many_arguments)] // mirrors run_jobs + the test knob
+    pub(crate) fn run_chunked(
+        seed: u64,
+        n_users: usize,
+        model: &PathModel,
+        edge: &Deployment,
+        cloud: &Deployment,
+        cfg: &SketchCampaignConfig,
+        jobs: usize,
+        chunk: usize,
+    ) -> Self {
+        assert!(n_users > 0, "campaign needs users");
+        assert!(chunk > 0, "chunk size must be positive");
+        let k = cfg.edge_candidates.min(edge.n_sites());
+        assert!(k >= 3, "need at least three edge candidates for the 3rd-nearest figure");
+        assert!(cloud.n_sites() >= 1, "need at least one cloud region");
+        let engine = PingEngine::with_fault(cfg.fault);
+        let chunks = n_users.div_ceil(chunk);
+        let per_chunk = crate::pool::fan_out(chunks, jobs, |c| {
+            obs::scoped(|| {
+                let mut acc = Self::empty();
+                // Scratch buffers reused across the chunk's users.
+                let mut dists: Vec<(usize, f64)> = Vec::with_capacity(edge.n_sites());
+                let mut edge_pts: Vec<(f64, f64)> = Vec::with_capacity(k);
+                let mut cloud_pts: Vec<(f64, f64)> = Vec::with_capacity(cloud.n_sites());
+                for i in c * chunk..((c + 1) * chunk).min(n_users) {
+                    let mut rng = stream_rng(seed, entity_tag(domains::LATENCY_USER, i));
+                    let user = recruit_one(&mut rng);
+                    nearest_sites(edge, user.geo, k, &mut dists);
+                    edge_pts.clear();
+                    for &(_, d) in dists.iter() {
+                        let path = model.ue_path(&mut rng, user.access, d, TargetClass::EdgeSite);
+                        if let Some(p) = measure_moments(&mut rng, &engine, &path, cfg.pings_per_target) {
+                            edge_pts.push(p);
+                        }
+                    }
+                    cloud_pts.clear();
+                    for site in &cloud.sites {
+                        let d = site.geo().distance_km(&user.geo);
+                        let path = model.ue_path(&mut rng, user.access, d, TargetClass::CloudRegion);
+                        if let Some(p) = measure_moments(&mut rng, &engine, &path, cfg.pings_per_target) {
+                            cloud_pts.push(p);
+                        }
+                    }
+                    acc.fold_user(&mut edge_pts, &cloud_pts);
+                }
+                acc
+            })
+        });
+        let mut out = Self::empty();
+        for (acc, set) in &per_chunk {
+            obs::record_set(set);
+            out.merge(acc);
+        }
+        out
+    }
+
+    /// Fold one user's surviving `(mean_rtt, cv)` points into the
+    /// sketches, applying the same per-user-first aggregation as
+    /// [`crate::latency::LatencyCampaign::fig2a`]: the user only counts
+    /// if the 3rd-nearest edge and the nearest cloud exist.
+    fn fold_user(&mut self, edge_pts: &mut [(f64, f64)], cloud_pts: &[(f64, f64)]) {
+        if edge_pts.len() < 3 || cloud_pts.is_empty() {
+            self.users_partial += 1;
+            obs::counter_inc("probe.sketch_users_partial");
+            return;
+        }
+        // Same ordering rule as `UserResult::kth_edge`: stable sort by
+        // measured mean RTT under `total_cmp`.
+        edge_pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let e0 = edge_pts[0];
+        let e2 = edge_pts[2];
+        let c0 = *cloud_pts
+            .iter()
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("non-empty cloud points");
+        let n = cloud_pts.len() as f64;
+        let ca_rtt = cloud_pts.iter().map(|p| p.0).sum::<f64>() / n;
+        let ca_cv = cloud_pts.iter().map(|p| p.1).sum::<f64>() / n;
+
+        self.rtt.nearest_edge.add(e0.0);
+        self.rtt.third_edge.add(e2.0);
+        self.rtt.nearest_cloud.add(c0.0);
+        self.rtt.all_clouds.add(ca_rtt);
+        self.cv.nearest_edge.add(e0.1);
+        self.cv.third_edge.add(e2.1);
+        self.cv.nearest_cloud.add(c0.1);
+        self.cv.all_clouds.add(ca_cv);
+        self.nearest_edge_moments.add(e0.0);
+        self.users_complete += 1;
+        obs::counter_inc("probe.sketch_users_complete");
+    }
+}
+
+/// Probe a path and return `(mean_rtt, cv)` under exactly the dropping
+/// rules (and obs counters) of the paper-scale campaign's `measure`:
+/// all-lost targets are unreachable, single-sample targets have no
+/// dispersion estimate and are dropped rather than reported as CV = 0.
+fn measure_moments(
+    rng: &mut impl Rng,
+    engine: &PingEngine,
+    path: &Path,
+    pings: usize,
+) -> Option<(f64, f64)> {
+    let m = engine.probe_moments(rng, path, pings);
+    let Some(mean) = m.mean_rtt_ms() else {
+        obs::counter_inc("probe.ping_targets_unreachable");
+        return None;
+    };
+    let Some(cv) = m.cv() else {
+        obs::counter_inc("probe.ping_targets_low_sample");
+        return None;
+    };
+    obs::counter_inc("probe.ping_targets_measured");
+    Some((mean, cv))
+}
+
+/// Fill `out` with the `k` nearest sites of `dep` to `from`, ordered by
+/// `(distance, site index)` — a total order, so the selection is unique
+/// even under distance ties.
+fn nearest_sites(
+    dep: &Deployment,
+    from: edgescope_net::geo::GeoPoint,
+    k: usize,
+    out: &mut Vec<(usize, f64)>,
+) {
+    out.clear();
+    out.extend(dep.sites.iter().enumerate().map(|(i, s)| (i, s.geo().distance_km(&from))));
+    let cmp = |a: &(usize, f64), b: &(usize, f64)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0));
+    if out.len() > k {
+        out.select_nth_unstable_by(k - 1, cmp);
+        out.truncate(k);
+    }
+    out.sort_by(cmp);
+}
+
+/// Streaming inter-site scan results: the Fig. 4 statistics without the
+/// O(n²) point list or RTT matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingIntersiteScan {
+    /// Sketch of the per-pair mean RTTs.
+    pub rtt: PercentileSketch,
+    /// Online Pearson accumulator over `(distance_km, mean_rtt_ms)`.
+    pub distance_rtt: StreamingPearson,
+    /// Per site: neighbours within 5 / 10 / 20 ms — identical to
+    /// [`crate::intersite::IntersiteScan::neighbours`].
+    pub neighbours: Vec<(usize, usize, usize)>,
+    /// Site pairs scanned.
+    pub pairs: u64,
+}
+
+impl StreamingIntersiteScan {
+    /// Mean neighbour counts across sites — the paper's 1.2/2.9/10.6
+    /// statistic.
+    pub fn mean_neighbours(&self) -> (f64, f64, f64) {
+        let n = self.neighbours.len().max(1) as f64;
+        let sum = self.neighbours.iter().fold((0usize, 0usize, 0usize), |a, b| {
+            (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+        });
+        (sum.0 as f64 / n, sum.1 as f64 / n, sum.2 as f64 / n)
+    }
+
+    /// Pearson correlation between distance and RTT over all pairs.
+    pub fn distance_rtt_correlation(&self) -> f64 {
+        self.distance_rtt.r()
+    }
+}
+
+/// Per-chunk accumulator of the streaming scan.
+struct ScanChunk {
+    sketch: PercentileSketch,
+    pearson: StreamingPearson,
+    /// `(source site, its neighbour counts over j > i)`.
+    own: Vec<(usize, (usize, usize, usize))>,
+    /// Reverse contributions `(target site j, proximity level)` for pairs
+    /// within 20 ms — sparse (the paper finds ~10 such neighbours per
+    /// site), so this stays O(sites), not O(pairs).
+    near: Vec<(usize, u8)>,
+    pairs: u64,
+}
+
+/// Streaming variant of [`crate::intersite::intersite_scan_jobs`]: same
+/// per-site RNG streams and probe sequence, same neighbour counts (they
+/// are integer-exact), but O(sites) memory instead of an O(sites²) RTT
+/// matrix and point list.
+pub fn streaming_intersite_scan_jobs(
+    seed: u64,
+    model: &PathModel,
+    dep: &Deployment,
+    probes: usize,
+    jobs: usize,
+) -> StreamingIntersiteScan {
+    streaming_intersite_scan_chunked(seed, model, dep, probes, jobs, SITE_CHUNK)
+}
+
+/// [`streaming_intersite_scan_jobs`] with an explicit source-site chunk
+/// size (test knob; see [`LatencySketchCampaign::run_chunked`]).
+pub(crate) fn streaming_intersite_scan_chunked(
+    seed: u64,
+    model: &PathModel,
+    dep: &Deployment,
+    probes: usize,
+    jobs: usize,
+    chunk: usize,
+) -> StreamingIntersiteScan {
+    let n = dep.n_sites();
+    assert!(n >= 2, "need at least two sites");
+    assert!(chunk > 0, "chunk size must be positive");
+    let engine = PingEngine::new();
+    let chunks = n.div_ceil(chunk);
+    let per_chunk = crate::pool::fan_out(chunks, jobs, |c| {
+        obs::scoped(|| {
+            let mut acc = ScanChunk {
+                sketch: rtt_sketch(),
+                pearson: StreamingPearson::new(),
+                own: Vec::new(),
+                near: Vec::new(),
+                pairs: 0,
+            };
+            for i in c * chunk..((c + 1) * chunk).min(n) {
+                let mut rng = stream_rng(seed, entity_tag(domains::INTERSITE_SITE, i));
+                let mut own = (0usize, 0usize, 0usize);
+                for j in i + 1..n {
+                    obs::counter_inc("probe.intersite_pairs");
+                    let d = dep.sites[i].geo().distance_km(&dep.sites[j].geo());
+                    let path = model.intersite_path(&mut rng, d);
+                    let m = engine.probe_moments(&mut rng, &path, probes);
+                    let rtt = m.mean_rtt_ms().unwrap_or(path.mean_rtt_ms());
+                    acc.sketch.add(rtt);
+                    acc.pearson.add(d, rtt);
+                    acc.pairs += 1;
+                    let level = match rtt {
+                        r if r <= 5.0 => 3u8,
+                        r if r <= 10.0 => 2,
+                        r if r <= 20.0 => 1,
+                        _ => 0,
+                    };
+                    if level > 0 {
+                        own.0 += usize::from(level >= 3);
+                        own.1 += usize::from(level >= 2);
+                        own.2 += 1;
+                        acc.near.push((j, level));
+                    }
+                }
+                acc.own.push((i, own));
+            }
+            acc
+        })
+    });
+    let mut out = StreamingIntersiteScan {
+        rtt: rtt_sketch(),
+        distance_rtt: StreamingPearson::new(),
+        neighbours: vec![(0, 0, 0); n],
+        pairs: 0,
+    };
+    for (acc, set) in &per_chunk {
+        obs::record_set(set);
+        out.rtt.merge(&acc.sketch);
+        out.distance_rtt.merge(&acc.pearson);
+        out.pairs += acc.pairs;
+        for &(i, (n5, n10, n20)) in &acc.own {
+            let e = &mut out.neighbours[i];
+            e.0 += n5;
+            e.1 += n10;
+            e.2 += n20;
+        }
+        for &(j, level) in &acc.near {
+            let e = &mut out.neighbours[j];
+            e.0 += usize::from(level >= 3);
+            e.1 += usize::from(level >= 2);
+            e.2 += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersite::intersite_scan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world(seed: u64, n_sites: usize) -> Deployment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Deployment::nep(&mut rng, n_sites)
+    }
+
+    fn campaign(seed: u64, n_users: usize, jobs: usize, chunk: usize) -> LatencySketchCampaign {
+        let edge = world(seed, 40);
+        let cloud = Deployment::alicloud();
+        let cfg = SketchCampaignConfig { pings_per_target: 5, ..Default::default() };
+        LatencySketchCampaign::run_chunked(
+            seed,
+            n_users,
+            &PathModel::paper_default(),
+            &edge,
+            &cloud,
+            &cfg,
+            jobs,
+            chunk,
+        )
+    }
+
+    #[test]
+    fn worker_count_never_changes_sketches_or_metrics() {
+        use edgescope_obs as obs;
+        // 25 users over chunk size 7 → 4 chunks, so the merge path and
+        // the chunk-order metric replay are genuinely exercised.
+        let run = |jobs: usize| obs::scoped(|| campaign(1, 25, jobs, 7));
+        let (serial, serial_metrics) = run(1);
+        for jobs in [2, 4] {
+            let (parallel, parallel_metrics) = run(jobs);
+            assert_eq!(serial, parallel, "jobs {jobs}");
+            assert_eq!(serial_metrics, parallel_metrics, "metric set at jobs {jobs}");
+        }
+        assert_eq!(serial.users_complete + serial.users_partial, 25);
+    }
+
+    #[test]
+    fn edge_beats_cloud_in_the_sketches() {
+        let c = campaign(2, 120, 4, USER_CHUNK);
+        assert!(c.users_complete >= 100, "complete {}", c.users_complete);
+        let me = c.rtt.nearest_edge.median();
+        let m3 = c.rtt.third_edge.median();
+        let mc = c.rtt.nearest_cloud.median();
+        let ma = c.rtt.all_clouds.median();
+        // `<=` between 3rd-edge and nearest-cloud: at this tiny world the
+        // two medians are ~2 % apart and can share a sketch bucket.
+        assert!(me < m3 && m3 <= mc && mc < ma, "medians {me} {m3} {mc} {ma}");
+        // Jitter gap (Fig. 2b): edge CV well under cloud CV.
+        assert!(c.cv.nearest_edge.median() < c.cv.nearest_cloud.median());
+        // Moments agree with the sketch to sketch accuracy.
+        let mean = c.nearest_edge_moments.mean();
+        assert!((c.rtt.nearest_edge.quantile(0.5) - me).abs() < 1e-12);
+        assert!(mean > 0.0 && mean.is_finite());
+        assert_eq!(c.nearest_edge_moments.count(), c.users_complete);
+    }
+
+    #[test]
+    fn nearest_sites_selection_is_exact() {
+        let dep = world(3, 60);
+        let from = dep.sites[7].geo();
+        let mut got = Vec::new();
+        nearest_sites(&dep, from, 5, &mut got);
+        // Brute force the same selection.
+        let mut all: Vec<(usize, f64)> = dep
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.geo().distance_km(&from)))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(5);
+        assert_eq!(got, all);
+        assert_eq!(got[0].0, 7, "a site is its own nearest site");
+    }
+
+    #[test]
+    fn streaming_scan_matches_exact_scan() {
+        // Same seed and deployment: the streaming scan consumes the same
+        // per-site RNG streams, so the integer neighbour counts must be
+        // *identical* and the analogue statistics must agree closely.
+        let dep = world(4, 40);
+        let exact = intersite_scan(4, &PathModel::paper_default(), &dep, 5);
+        let stream = streaming_intersite_scan_jobs(4, &PathModel::paper_default(), &dep, 5, 1);
+        assert_eq!(stream.neighbours, exact.neighbours);
+        assert_eq!(stream.pairs as usize, exact.points.len());
+        assert_eq!(stream.rtt.count(), exact.points.len() as u64);
+        let r_exact = exact.distance_rtt_correlation();
+        let r_stream = stream.distance_rtt_correlation();
+        assert!((r_exact - r_stream).abs() < 1e-9, "{r_exact} vs {r_stream}");
+        let mut rtts: Vec<f64> = exact.points.iter().map(|p| p.1).collect();
+        rtts.sort_by(f64::total_cmp);
+        let exact_median = edgescope_analysis::stats::median(&rtts);
+        let sketch_median = stream.rtt.median();
+        assert!(
+            (sketch_median - exact_median).abs() / exact_median <= SKETCH_ALPHA,
+            "{sketch_median} vs {exact_median}"
+        );
+    }
+
+    #[test]
+    fn streaming_scan_is_jobs_and_chunk_path_invariant() {
+        use edgescope_obs as obs;
+        let dep = world(5, 30);
+        let run = |jobs: usize, chunk: usize| {
+            obs::scoped(|| {
+                streaming_intersite_scan_chunked(
+                    5,
+                    &PathModel::paper_default(),
+                    &dep,
+                    5,
+                    jobs,
+                    chunk,
+                )
+            })
+        };
+        let (serial, serial_metrics) = run(1, 4);
+        for jobs in [2, 4] {
+            let (parallel, parallel_metrics) = run(jobs, 4);
+            assert_eq!(serial, parallel, "jobs {jobs}");
+            assert_eq!(serial_metrics, parallel_metrics, "metrics at jobs {jobs}");
+        }
+        // Chunk size changes only the FP merge order of the Pearson
+        // accumulator, never the sketch or the counts.
+        let (other, _) = run(4, 11);
+        assert_eq!(serial.rtt, other.rtt);
+        assert_eq!(serial.neighbours, other.neighbours);
+        assert!((serial.distance_rtt_correlation() - other.distance_rtt_correlation()).abs() < 1e-9);
+    }
+}

@@ -52,31 +52,37 @@ fn offset_geo(rng: &mut impl Rng, city: &City) -> GeoPoint {
     )
 }
 
+/// Recruit a single user from `rng` with the paper's access mix and
+/// 5G-in-Beijing constraint.
+///
+/// [`recruit`] draws `n` users serially from one stream; the streaming
+/// metro campaign instead calls this once per user on that user's own
+/// RNG stream, so the crowd never has to be materialized.
+pub fn recruit_one(rng: &mut impl Rng) -> VirtualUser {
+    let mut t = rng.gen::<f64>();
+    let mut access = AccessNetwork::Wifi;
+    for (a, w) in ACCESS_MIX {
+        if t < w {
+            access = a;
+            break;
+        }
+        t -= w;
+    }
+    // 2020-era 5G coverage: Beijing with ~90 % probability.
+    let city = if access == AccessNetwork::FiveG && rng.gen::<f64>() < 0.9 {
+        *city_by_name("Beijing").expect("gazetteer has Beijing")
+    } else {
+        sample_city(rng)
+    };
+    let geo = offset_geo(rng, &city);
+    VirtualUser { city, geo, access }
+}
+
 /// Recruit `n` users with the paper's access mix and 5G-in-Beijing
 /// constraint.
 pub fn recruit(rng: &mut impl Rng, n: usize) -> Vec<VirtualUser> {
     assert!(n > 0, "need at least one user");
-    (0..n)
-        .map(|_| {
-            let mut t = rng.gen::<f64>();
-            let mut access = AccessNetwork::Wifi;
-            for (a, w) in ACCESS_MIX {
-                if t < w {
-                    access = a;
-                    break;
-                }
-                t -= w;
-            }
-            // 2020-era 5G coverage: Beijing with ~90 % probability.
-            let city = if access == AccessNetwork::FiveG && rng.gen::<f64>() < 0.9 {
-                *city_by_name("Beijing").expect("gazetteer has Beijing")
-            } else {
-                sample_city(rng)
-            };
-            let geo = offset_geo(rng, &city);
-            VirtualUser { city, geo, access }
-        })
-        .collect()
+    (0..n).map(|_| recruit_one(rng)).collect()
 }
 
 #[cfg(test)]

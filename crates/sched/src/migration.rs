@@ -191,7 +191,7 @@ mod tests {
                 SchedVm {
                     site,
                     load: log_normal_mean_cv(rng, 4.0, 0.8),
-                    mem_gb: *[8.0, 16.0, 32.0, 64.0].iter().nth(rng.gen_range(0..4)).unwrap(),
+                    mem_gb: [8.0, 16.0, 32.0, 64.0][rng.gen_range(0..4)],
                 }
             })
             .collect()

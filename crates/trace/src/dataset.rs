@@ -55,6 +55,48 @@ fn draw_within_sigma(rng: &mut impl Rng, p: &FlavorParams) -> f64 {
     log_normal(rng, p.within_app_sigma_median.ln(), p.within_app_sigma_spread)
 }
 
+/// Per-app temporal identity: base utilization and within-app spread are
+/// app-level draws (an app's VMs resemble each other). They come from a
+/// single dedicated stream, drawn serially in record first-appearance
+/// order, so the app table is independent of how the per-VM work is
+/// split afterwards. Shared by the batch and streaming generators.
+pub(crate) fn app_table(
+    seed: u64,
+    params: &FlavorParams,
+    records: &[VmRecord],
+) -> BTreeMap<AppId, (f64, f64)> {
+    let mut app_rng = stream_rng(seed, entity_tag(domains::TRACE_APP, 0));
+    let mut app_base: BTreeMap<AppId, (f64, f64)> = BTreeMap::new();
+    for r in records {
+        app_base.entry(r.app).or_insert_with(|| {
+            (draw_app_base_util(&mut app_rng, params), draw_within_sigma(&mut app_rng, params))
+        });
+    }
+    app_base
+}
+
+/// Synthesize VM `i`'s series from its own `(seed, i)` stream — the one
+/// function both the batch dataset and the streaming statistics call, so
+/// the two paths are draw-for-draw identical by construction.
+pub(crate) fn vm_series_for(
+    seed: u64,
+    params: &FlavorParams,
+    r: &VmRecord,
+    (base, sigma): (f64, f64),
+    i: usize,
+    config: &TraceConfig,
+) -> VmSeries {
+    let mut rng = stream_rng(seed, entity_tag(domains::TRACE_VM, i));
+    // Mean-preserving within-app spread.
+    let factor = log_normal(&mut rng, -sigma * sigma / 2.0, sigma);
+    let mean_util = (base * factor).clamp(0.1, 95.0);
+    let profile = VmProfile::draw(&mut rng, params, r.category, mean_util, r.bandwidth_mbps);
+    VmSeries {
+        cpu_util_pct: profile.cpu_series(&mut rng, config),
+        bw_mbps: profile.bw_series(&mut rng, config),
+    }
+}
+
 impl TraceDataset {
     /// Generate an NEP trace: builds a deployment of `n_sites`, places
     /// `n_apps` apps through the §2 policy, and synthesizes series.
@@ -126,34 +168,12 @@ impl TraceDataset {
         config: &TraceConfig,
         jobs: usize,
     ) -> Vec<VmSeries> {
-        // Per-app temporal identity: base utilization and within-app
-        // spread are app-level draws (an app's VMs resemble each other).
-        // They come from a single dedicated stream, drawn serially in
-        // record first-appearance order, so the app table is independent
-        // of how the per-VM work is split below.
-        let mut app_rng = stream_rng(seed, entity_tag(domains::TRACE_APP, 0));
-        let mut app_base: BTreeMap<AppId, (f64, f64)> = BTreeMap::new();
-        for r in records {
-            app_base.entry(r.app).or_insert_with(|| {
-                (draw_app_base_util(&mut app_rng, params), draw_within_sigma(&mut app_rng, params))
-            });
-        }
+        let app_base = app_table(seed, params, records);
         // Each VM's series draws from its own stream, so VM `i`'s series
         // is a function of `(seed, i)` alone and the fan-out can run at
         // any worker count.
         let series = fan_out(records.len(), jobs, |i| {
-            let r = &records[i];
-            let mut rng = stream_rng(seed, entity_tag(domains::TRACE_VM, i));
-            let (base, sigma) = app_base[&r.app];
-            // Mean-preserving within-app spread.
-            let factor = log_normal(&mut rng, -sigma * sigma / 2.0, sigma);
-            let mean_util = (base * factor).clamp(0.1, 95.0);
-            let profile =
-                VmProfile::draw(&mut rng, params, r.category, mean_util, r.bandwidth_mbps);
-            VmSeries {
-                cpu_util_pct: profile.cpu_series(&mut rng, config),
-                bw_mbps: profile.bw_series(&mut rng, config),
-            }
+            vm_series_for(seed, params, &records[i], app_base[&records[i].app], i, config)
         });
         // Totals are order-free, so they are recorded once on the caller
         // thread rather than inside the fan-out.

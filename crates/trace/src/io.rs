@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn bad_field_rejected() {
         let ds = tiny();
-        let tsv = vm_table_to_tsv(&ds.records[..1].to_vec());
+        let tsv = vm_table_to_tsv(&ds.records[..1]);
         let corrupted = tsv.replace("live-streaming", "parcheesi")
             .replace("web-service", "parcheesi")
             .replace("dev-test", "parcheesi")

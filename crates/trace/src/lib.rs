@@ -63,6 +63,7 @@ pub mod io;
 mod pool;
 pub mod population;
 pub mod series;
+pub mod stream;
 pub mod validate;
 
 pub use app::AppCategory;
@@ -70,4 +71,5 @@ pub use dataset::{TraceDataset, VmSeries};
 pub use flavor::{Flavor, FlavorParams};
 pub use population::VmRecord;
 pub use series::TraceConfig;
+pub use stream::{stream_azure_stats_jobs, stream_nep_stats_jobs, StreamingTraceStats};
 pub use validate::{validate, Violation};

@@ -294,7 +294,7 @@ mod tests {
         let counts: Vec<usize> = (0..4000).map(|_| sample_app_vm_count(&mut rng, &nep)).collect();
         let frac50 = counts.iter().filter(|&&c| c >= 50).count() as f64 / counts.len() as f64;
         assert!((frac50 - 0.096).abs() < 0.02, "NEP ≥50-VM share {frac50}");
-        assert!(counts.iter().all(|&c| c >= 1 && c <= 1000));
+        assert!(counts.iter().all(|&c| (1..=1000).contains(&c)));
 
         let az = FlavorParams::cloud_azure();
         let counts: Vec<usize> = (0..4000).map(|_| sample_app_vm_count(&mut rng, &az)).collect();

@@ -1,0 +1,273 @@
+//! Streaming (metro-scale) trace statistics.
+//!
+//! A paper-scale [`TraceDataset`](crate::dataset::TraceDataset) holds
+//! every VM's full CPU/bandwidth series — at metro scale (tens of
+//! thousands of VM series over 30 days at 5-minute resolution) that is
+//! gigabytes. [`StreamingTraceStats`] synthesizes each VM's series from
+//! its own RNG stream, computes the per-VM statistics the Fig. 10
+//! distributions need with the *exact* formulas of the batch accessors
+//! (`mean_cpu_per_vm`, `p95_cpu_per_vm`, `cpu_cv_per_vm`,
+//! `mean_bw_per_vm`), folds them into mergeable
+//! [`PercentileSketch`]es, and drops the series — one VM's series is the
+//! only one alive per worker at any time.
+//!
+//! ## Determinism contract
+//! VM table and app table come from the same serial draws as the batch
+//! generators (shared helpers in `dataset`), and VM `i`'s series is a
+//! function of `(seed, i)` alone. VMs are folded in fixed-size chunks
+//! (a constant, never derived from the worker count) and chunk
+//! accumulators merge in chunk order, so results are byte-identical for
+//! every `jobs` value. Sketch merges are integer-exact; chunking is
+//! invisible to them entirely.
+
+use crate::dataset::{app_table, vm_series_for};
+use crate::flavor::{Flavor, FlavorParams};
+use crate::pool::fan_out;
+use crate::population::{generate_cloud, generate_nep, VmRecord};
+use crate::series::TraceConfig;
+use edgescope_analysis::sketch::PercentileSketch;
+use edgescope_platform::deployment::Deployment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// VMs folded per chunk accumulator. A constant so chunk boundaries
+/// never depend on `jobs`.
+const VM_CHUNK: usize = 1024;
+
+/// Relative accuracy of the per-VM statistic sketches.
+const SKETCH_ALPHA: f64 = 0.01;
+
+fn cpu_sketch() -> PercentileSketch {
+    // CPU percent: exact zeros go to the sketch's zero bucket.
+    PercentileSketch::new(SKETCH_ALPHA, 0.01, 100.0)
+}
+
+fn cv_sketch() -> PercentileSketch {
+    PercentileSketch::new(SKETCH_ALPHA, 1e-3, 100.0)
+}
+
+fn bw_sketch() -> PercentileSketch {
+    PercentileSketch::new(SKETCH_ALPHA, 1e-3, 100_000.0)
+}
+
+/// Sketched per-VM statistics of one platform's trace — the streaming
+/// analogue of the Fig. 10 accessor vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingTraceStats {
+    /// Which platform this trace models.
+    pub flavor: Flavor,
+    /// Sampling configuration the series were synthesized under.
+    pub config: TraceConfig,
+    /// VMs folded in.
+    pub n_vms: u64,
+    /// Sketch over per-VM mean CPU utilization (percent).
+    pub mean_cpu: PercentileSketch,
+    /// Sketch over per-VM 95th-percentile CPU (Fig. 10a "P95 Max").
+    pub p95_cpu: PercentileSketch,
+    /// Sketch over per-VM across-time CPU CV (Fig. 10b).
+    pub cpu_cv: PercentileSketch,
+    /// Sketch over per-VM mean bandwidth (Mbps).
+    pub mean_bw: PercentileSketch,
+}
+
+impl StreamingTraceStats {
+    fn empty(flavor: Flavor, config: TraceConfig) -> Self {
+        StreamingTraceStats {
+            flavor,
+            config,
+            n_vms: 0,
+            mean_cpu: cpu_sketch(),
+            p95_cpu: cpu_sketch(),
+            cpu_cv: cv_sketch(),
+            mean_bw: bw_sketch(),
+        }
+    }
+
+    fn merge(&mut self, other: &StreamingTraceStats) {
+        self.n_vms += other.n_vms;
+        self.mean_cpu.merge(&other.mean_cpu);
+        self.p95_cpu.merge(&other.p95_cpu);
+        self.cpu_cv.merge(&other.cpu_cv);
+        self.mean_bw.merge(&other.mean_bw);
+    }
+}
+
+// Per-VM statistics, formula-for-formula the batch accessors of
+// `TraceDataset` applied to one series.
+
+fn mean_of(xs: &[f32]) -> f64 {
+    xs.iter().map(|&v| v as f64).sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn p95_of(xs: &[f32]) -> f64 {
+    debug_assert!(!xs.is_empty(), "series are never empty");
+    let mut v: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = 0.95 * (v.len() - 1) as f64;
+    v[rank.round() as usize]
+}
+
+fn cv_of(xs: &[f32]) -> f64 {
+    let m = mean_of(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    let var = xs
+        .iter()
+        .map(|&x| (x as f64 - m) * (x as f64 - m))
+        .sum::<f64>()
+        / xs.len() as f64;
+    var.sqrt() / m
+}
+
+fn stream_stats(
+    seed: u64,
+    flavor: Flavor,
+    params: &FlavorParams,
+    records: &[VmRecord],
+    config: &TraceConfig,
+    jobs: usize,
+    chunk: usize,
+) -> StreamingTraceStats {
+    assert!(chunk > 0, "chunk size must be positive");
+    let app_base = app_table(seed, params, records);
+    let chunks = records.len().div_ceil(chunk);
+    let per_chunk = fan_out(chunks, jobs, |c| {
+        let mut acc = StreamingTraceStats::empty(flavor, config.clone());
+        let mut cpu_samples = 0u64;
+        let mut bw_samples = 0u64;
+        let hi = ((c + 1) * chunk).min(records.len());
+        for (i, r) in records.iter().enumerate().take(hi).skip(c * chunk) {
+            let s = vm_series_for(seed, params, r, app_base[&r.app], i, config);
+            acc.mean_cpu.add(mean_of(&s.cpu_util_pct));
+            acc.p95_cpu.add(p95_of(&s.cpu_util_pct));
+            acc.cpu_cv.add(cv_of(&s.cpu_util_pct));
+            acc.mean_bw.add(mean_of(&s.bw_mbps));
+            acc.n_vms += 1;
+            cpu_samples += s.cpu_util_pct.len() as u64;
+            bw_samples += s.bw_mbps.len() as u64;
+        }
+        (acc, cpu_samples, bw_samples)
+    });
+    let mut out = StreamingTraceStats::empty(flavor, config.clone());
+    let mut cpu_total = 0u64;
+    let mut bw_total = 0u64;
+    for (acc, cpu, bw) in &per_chunk {
+        out.merge(acc);
+        cpu_total += cpu;
+        bw_total += bw;
+    }
+    // Same counters, same once-on-the-caller recording discipline as the
+    // batch generator — totals are order-free.
+    edgescope_obs::counter_add("trace.vms_generated", out.n_vms);
+    edgescope_obs::counter_add("trace.cpu_samples", cpu_total);
+    edgescope_obs::counter_add("trace.bw_samples", bw_total);
+    out
+}
+
+/// Streaming analogue of
+/// [`TraceDataset::generate_nep_jobs`](crate::dataset::TraceDataset::generate_nep_jobs):
+/// same deployment, placement, VM table, and per-VM draws, but only the
+/// sketched per-VM statistics are retained.
+pub fn stream_nep_stats_jobs(
+    seed: u64,
+    n_sites: usize,
+    n_apps: usize,
+    config: TraceConfig,
+    jobs: usize,
+) -> (StreamingTraceStats, Deployment) {
+    let params = FlavorParams::edge_nep();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut deployment = Deployment::nep_custom(&mut rng, n_sites, 10, 40);
+    let records = generate_nep(&mut rng, &params, &mut deployment, n_apps);
+    let stats = stream_stats(seed, Flavor::EdgeNep, &params, &records, &config, jobs, VM_CHUNK);
+    (stats, deployment)
+}
+
+/// Streaming analogue of
+/// [`TraceDataset::generate_azure_jobs`](crate::dataset::TraceDataset::generate_azure_jobs).
+pub fn stream_azure_stats_jobs(
+    seed: u64,
+    n_regions: u32,
+    n_apps: usize,
+    config: TraceConfig,
+    jobs: usize,
+) -> StreamingTraceStats {
+    let params = FlavorParams::cloud_azure();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records = generate_cloud(&mut rng, &params, n_regions, n_apps);
+    stream_stats(seed, Flavor::CloudAzure, &params, &records, &config, jobs, VM_CHUNK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TraceDataset;
+    use edgescope_obs as obs;
+
+    fn small_cfg() -> TraceConfig {
+        TraceConfig { days: 7, cpu_interval_min: 10, bw_interval_min: 30, start_weekday: 0 }
+    }
+
+    fn exact_median(mut xs: Vec<f64>) -> f64 {
+        xs.sort_by(f64::total_cmp);
+        edgescope_analysis::stats::median(&xs)
+    }
+
+    #[test]
+    fn streaming_stats_match_batch_dataset() {
+        let (ds, dep_batch) = TraceDataset::generate_nep(1, 20, 15, small_cfg());
+        let (st, dep_stream) = stream_nep_stats_jobs(1, 20, 15, small_cfg(), 2);
+        assert_eq!(dep_batch.n_sites(), dep_stream.n_sites());
+        assert_eq!(st.n_vms as usize, ds.n_vms());
+        assert_eq!(st.mean_cpu.count(), st.n_vms);
+        // Sketch medians within the sketch's relative accuracy of the
+        // exact per-VM statistic medians.
+        let close = |sketch: &PercentileSketch, exact: Vec<f64>, what: &str| {
+            let e = exact_median(exact);
+            let s = sketch.median();
+            assert!((s - e).abs() <= SKETCH_ALPHA * e.abs() + 1e-9, "{what}: {s} vs {e}");
+        };
+        close(&st.mean_cpu, ds.mean_cpu_per_vm(), "mean cpu");
+        close(&st.p95_cpu, ds.p95_cpu_per_vm(), "p95 cpu");
+        close(&st.cpu_cv, ds.cpu_cv_per_vm(), "cpu cv");
+        close(&st.mean_bw, ds.mean_bw_per_vm(), "mean bw");
+    }
+
+    #[test]
+    fn azure_streaming_stats_match_batch() {
+        let ds = TraceDataset::generate_azure(2, 8, 30, small_cfg());
+        let st = stream_azure_stats_jobs(2, 8, 30, small_cfg(), 4);
+        assert_eq!(st.n_vms as usize, ds.n_vms());
+        assert_eq!(st.flavor, Flavor::CloudAzure);
+        let e = exact_median(ds.mean_cpu_per_vm());
+        assert!((st.mean_cpu.median() - e).abs() <= SKETCH_ALPHA * e + 1e-9);
+    }
+
+    #[test]
+    fn worker_and_chunk_invariance() {
+        let params = FlavorParams::cloud_azure();
+        let mut rng = StdRng::seed_from_u64(3);
+        let records = generate_cloud(&mut rng, &params, 5, 20);
+        let run = |jobs: usize, chunk: usize| {
+            stream_stats(3, Flavor::CloudAzure, &params, &records, &small_cfg(), jobs, chunk)
+        };
+        // 7-VM chunks force multi-chunk merging even on this small table.
+        let serial = run(1, 7);
+        for jobs in [2, 4] {
+            assert_eq!(serial, run(jobs, 7), "jobs {jobs}");
+        }
+        // Sketch merges are integer-exact, so even the chunk size is
+        // invisible to the result.
+        assert_eq!(serial, run(4, 13));
+    }
+
+    #[test]
+    fn streaming_counters_match_batch() {
+        let batch = obs::scoped(|| TraceDataset::generate_azure_jobs(4, 4, 12, small_cfg(), 2)).1;
+        let stream = obs::scoped(|| stream_azure_stats_jobs(4, 4, 12, small_cfg(), 2)).1;
+        for c in ["trace.vms_generated", "trace.cpu_samples", "trace.bw_samples"] {
+            assert_eq!(stream.counter(c), batch.counter(c), "{c}");
+        }
+    }
+}

@@ -48,7 +48,7 @@ fn main() {
         .map(|_| SchedVm {
             site: if rng.gen::<f64>() < 0.6 { 0 } else { rng.gen_range(0..10) },
             load: rng.gen_range(0.5..8.0),
-            mem_gb: *[8.0, 16.0, 32.0, 64.0].iter().nth(rng.gen_range(0..4)).unwrap(),
+            mem_gb: [8.0, 16.0, 32.0, 64.0][rng.gen_range(0..4)],
         })
         .collect();
     for budget in [0usize, 10, 50, 400] {

@@ -241,6 +241,64 @@ fn campaign_primitives_are_worker_count_invariant() {
 }
 
 #[test]
+fn metro_registry_is_worker_count_invariant_at_tiny_world() {
+    // The metro tier's gate, on a CI-sized world: the streaming (sketch)
+    // experiments selected by `registry_for(Scale::Metro)` must produce
+    // byte-identical renders, CSVs and metrics at every `--jobs` value.
+    // Sketch bucket counts merge integer-exactly in any order; the
+    // floating-point moment/Pearson accumulators merge in constant-size
+    // chunk order — this test is what keeps both properties honest at
+    // the executor level.
+    use edgescope::experiments::registry_for;
+    use edgescope::trace::series::TraceConfig;
+
+    let mut sizing = Scenario::new(Scale::Quick, 42).sizing;
+    sizing.nep_sites = 30;
+    sizing.n_users = 50;
+    sizing.pings_per_target = 4;
+    sizing.trace_sites = 12;
+    sizing.trace_apps = 15;
+    sizing.trace_config =
+        TraceConfig { days: 7, cpu_interval_min: 10, bw_interval_min: 30, start_weekday: 0 };
+    let scenario = Scenario::with_scale_sizing(Scale::Metro, sizing, 42);
+    assert!(scenario.users.is_empty(), "metro scenarios never materialize the crowd");
+
+    let serial = Executor::new(1).run(&scenario, registry_for(Scale::Metro));
+    let parallel = Executor::new(4).run(&scenario, registry_for(Scale::Metro));
+
+    let ids = |e: &edgescope::Execution| e.reports.iter().map(|r| r.id).collect::<Vec<_>>();
+    assert_eq!(ids(&serial), ["metro_latency", "metro_intersite", "metro_workload"]);
+    assert_eq!(ids(&serial), ids(&parallel));
+
+    let renders =
+        |e: &edgescope::Execution| e.reports.iter().map(|r| r.render()).collect::<Vec<_>>();
+    assert_eq!(renders(&serial), renders(&parallel), "renders must be byte-identical");
+    let csvs = |e: &edgescope::Execution| {
+        e.reports.iter().flat_map(|r| r.csv.iter().cloned()).collect::<Vec<_>>()
+    };
+    assert_eq!(csvs(&serial), csvs(&parallel), "sketch CSVs must be byte-identical");
+    assert_eq!(
+        serial.metrics.to_json(),
+        parallel.metrics.to_json(),
+        "metrics.json must be byte-identical across --jobs"
+    );
+
+    // The build went through the shared streaming stage, and the stage
+    // recorded the campaign counters.
+    let stage_names: Vec<&str> =
+        serial.timings.stages.iter().map(|t| t.name.as_str()).collect();
+    assert_eq!(stage_names, ["study:streaming"]);
+    let totals = serial.metrics.totals();
+    assert!(totals.counter("net.probes_sent") > 0);
+    assert_eq!(
+        totals.counter("probe.sketch_users_complete")
+            + totals.counter("probe.sketch_users_partial"),
+        50
+    );
+    assert!(totals.counter("trace.vms_generated") > 0);
+}
+
+#[test]
 fn logging_does_not_perturb_outputs() {
     // `--log json` writes spans to stderr; renders, CSVs and metrics must
     // stay byte-identical to a silent run.

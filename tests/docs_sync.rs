@@ -1,0 +1,55 @@
+//! Docs-sync gates: the hand-written tables in EXPERIMENTS.md and
+//! README.md must track the code they describe, or `reproduce --only`
+//! users get steered to names that do not exist (and new experiments
+//! silently skip documentation).
+
+use edgescope::experiments::{registry, registry_for};
+use edgescope::Scale;
+
+fn read_doc(name: &str) -> String {
+    let path = format!("{}/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn artefact_map_covers_every_registry_name() {
+    // Every registry name must have a row in the EXPERIMENTS.md artefact
+    // map (the `| `name` | ... |` table). Adding an experiment without
+    // documenting it fails here.
+    let md = read_doc("EXPERIMENTS.md");
+    for spec in registry() {
+        let cell = format!("| `{}` |", spec.name);
+        assert!(
+            md.contains(&cell),
+            "EXPERIMENTS.md artefact map has no row for `{}` — document the new experiment",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn scale_tiers_are_documented() {
+    // Every parseable tier name appears in the scale-tier tables of both
+    // EXPERIMENTS.md and README.md.
+    for doc in ["EXPERIMENTS.md", "README.md"] {
+        let md = read_doc(doc);
+        for name in Scale::NAMES {
+            assert!(
+                md.contains(&format!("`{name}`")),
+                "{doc} does not document the `{name}` scale tier"
+            );
+        }
+    }
+}
+
+#[test]
+fn metro_registry_is_a_subset_of_the_full_registry() {
+    // `registry_for` may only narrow the registry, never invent specs —
+    // otherwise the artefact-map gate above has a blind spot.
+    let all: Vec<&str> = registry().iter().map(|s| s.name).collect();
+    for scale in [Scale::Quick, Scale::Default, Scale::Paper, Scale::Metro] {
+        for spec in registry_for(scale) {
+            assert!(all.contains(&spec.name), "{:?} not in registry()", spec.name);
+        }
+    }
+}
