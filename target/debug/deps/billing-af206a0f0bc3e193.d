@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/billing-af206a0f0bc3e193.d: crates/bench/benches/billing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbilling-af206a0f0bc3e193.rmeta: crates/bench/benches/billing.rs Cargo.toml
+
+crates/bench/benches/billing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-378e5804a3549177.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-378e5804a3549177.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

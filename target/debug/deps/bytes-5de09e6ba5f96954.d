@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-5de09e6ba5f96954.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-5de09e6ba5f96954.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-5de09e6ba5f96954.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

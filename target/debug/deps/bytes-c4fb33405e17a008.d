@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-c4fb33405e17a008.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-c4fb33405e17a008: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-0c4c834fcd64d13c.d: tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-0c4c834fcd64d13c.rmeta: tests/calibration.rs Cargo.toml
+
+tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

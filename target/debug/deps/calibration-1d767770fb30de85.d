@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-1d767770fb30de85.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-1d767770fb30de85: tests/calibration.rs
+
+tests/calibration.rs:

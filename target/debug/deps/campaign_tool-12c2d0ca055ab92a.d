@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_tool-12c2d0ca055ab92a.d: crates/probe/src/bin/campaign-tool.rs
+
+/root/repo/target/debug/deps/campaign_tool-12c2d0ca055ab92a: crates/probe/src/bin/campaign-tool.rs
+
+crates/probe/src/bin/campaign-tool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_tool-71f72fa3686edfeb.d: crates/probe/src/bin/campaign-tool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_tool-71f72fa3686edfeb.rmeta: crates/probe/src/bin/campaign-tool.rs Cargo.toml
+
+crates/probe/src/bin/campaign-tool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

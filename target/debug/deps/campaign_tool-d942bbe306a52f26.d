@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_tool-d942bbe306a52f26.d: crates/probe/src/bin/campaign-tool.rs
+
+/root/repo/target/debug/deps/campaign_tool-d942bbe306a52f26: crates/probe/src/bin/campaign-tool.rs
+
+crates/probe/src/bin/campaign-tool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-7fe1a0376480838b.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-7fe1a0376480838b: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

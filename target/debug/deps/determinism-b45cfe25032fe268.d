@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b45cfe25032fe268.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b45cfe25032fe268: tests/determinism.rs
+
+tests/determinism.rs:

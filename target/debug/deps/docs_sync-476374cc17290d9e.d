@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/docs_sync-476374cc17290d9e.d: tests/docs_sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocs_sync-476374cc17290d9e.rmeta: tests/docs_sync.rs Cargo.toml
+
+tests/docs_sync.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/docs_sync-650fceb22c42d979.d: tests/docs_sync.rs
+
+/root/repo/target/debug/deps/docs_sync-650fceb22c42d979: tests/docs_sync.rs
+
+tests/docs_sync.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edgescope-610e0d3f430ce778.d: src/lib.rs
+
+/root/repo/target/debug/deps/edgescope-610e0d3f430ce778: src/lib.rs
+
+src/lib.rs:

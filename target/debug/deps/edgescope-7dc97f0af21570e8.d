@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edgescope-7dc97f0af21570e8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgescope-7dc97f0af21570e8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edgescope-d70164e1fcd4c6e6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libedgescope-d70164e1fcd4c6e6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libedgescope-d70164e1fcd4c6e6.rmeta: src/lib.rs
+
+src/lib.rs:

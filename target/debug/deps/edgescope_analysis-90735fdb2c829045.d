@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/edgescope_analysis-90735fdb2c829045.d: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/cdf.rs crates/analysis/src/histogram.rs crates/analysis/src/imbalance.rs crates/analysis/src/pearson.rs crates/analysis/src/regression.rs crates/analysis/src/seasonality.rs crates/analysis/src/sketch.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgescope_analysis-90735fdb2c829045.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/cdf.rs crates/analysis/src/histogram.rs crates/analysis/src/imbalance.rs crates/analysis/src/pearson.rs crates/analysis/src/regression.rs crates/analysis/src/seasonality.rs crates/analysis/src/sketch.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bootstrap.rs:
+crates/analysis/src/cdf.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/imbalance.rs:
+crates/analysis/src/pearson.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/seasonality.rs:
+crates/analysis/src/sketch.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

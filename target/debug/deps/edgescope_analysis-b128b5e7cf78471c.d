@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/edgescope_analysis-b128b5e7cf78471c.d: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/cdf.rs crates/analysis/src/histogram.rs crates/analysis/src/imbalance.rs crates/analysis/src/pearson.rs crates/analysis/src/regression.rs crates/analysis/src/seasonality.rs crates/analysis/src/sketch.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/debug/deps/libedgescope_analysis-b128b5e7cf78471c.rlib: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/cdf.rs crates/analysis/src/histogram.rs crates/analysis/src/imbalance.rs crates/analysis/src/pearson.rs crates/analysis/src/regression.rs crates/analysis/src/seasonality.rs crates/analysis/src/sketch.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/debug/deps/libedgescope_analysis-b128b5e7cf78471c.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/cdf.rs crates/analysis/src/histogram.rs crates/analysis/src/imbalance.rs crates/analysis/src/pearson.rs crates/analysis/src/regression.rs crates/analysis/src/seasonality.rs crates/analysis/src/sketch.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bootstrap.rs:
+crates/analysis/src/cdf.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/imbalance.rs:
+crates/analysis/src/pearson.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/seasonality.rs:
+crates/analysis/src/sketch.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeseries.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/edgescope_analysis-dc053adcceed315a.d: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/cdf.rs crates/analysis/src/histogram.rs crates/analysis/src/imbalance.rs crates/analysis/src/pearson.rs crates/analysis/src/regression.rs crates/analysis/src/seasonality.rs crates/analysis/src/sketch.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/debug/deps/libedgescope_analysis-dc053adcceed315a.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/cdf.rs crates/analysis/src/histogram.rs crates/analysis/src/imbalance.rs crates/analysis/src/pearson.rs crates/analysis/src/regression.rs crates/analysis/src/seasonality.rs crates/analysis/src/sketch.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bootstrap.rs:
+crates/analysis/src/cdf.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/imbalance.rs:
+crates/analysis/src/pearson.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/seasonality.rs:
+crates/analysis/src/sketch.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeseries.rs:

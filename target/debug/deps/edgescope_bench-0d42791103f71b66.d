@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edgescope_bench-0d42791103f71b66.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgescope_bench-0d42791103f71b66.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edgescope_bench-8a6787103aaf62e5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libedgescope_bench-8a6787103aaf62e5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edgescope_bench-8cd558e87a0731d9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/edgescope_bench-8cd558e87a0731d9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edgescope_bench-fac3254526e47150.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libedgescope_bench-fac3254526e47150.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libedgescope_bench-fac3254526e47150.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/edgescope_billing-03e0118a10522656.d: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs
+
+/root/repo/target/debug/deps/libedgescope_billing-03e0118a10522656.rmeta: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs
+
+crates/billing/src/lib.rs:
+crates/billing/src/bill.rs:
+crates/billing/src/tariff.rs:
+crates/billing/src/vcloud.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/edgescope_billing-984d7c48b7d94a2d.d: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs
+
+/root/repo/target/debug/deps/edgescope_billing-984d7c48b7d94a2d: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs
+
+crates/billing/src/lib.rs:
+crates/billing/src/bill.rs:
+crates/billing/src/tariff.rs:
+crates/billing/src/vcloud.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/edgescope_billing-c6a08af2fd79676b.d: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgescope_billing-c6a08af2fd79676b.rmeta: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs Cargo.toml
+
+crates/billing/src/lib.rs:
+crates/billing/src/bill.rs:
+crates/billing/src/tariff.rs:
+crates/billing/src/vcloud.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

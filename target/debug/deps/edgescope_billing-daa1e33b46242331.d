@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edgescope_billing-daa1e33b46242331.d: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs
+
+/root/repo/target/debug/deps/libedgescope_billing-daa1e33b46242331.rlib: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs
+
+/root/repo/target/debug/deps/libedgescope_billing-daa1e33b46242331.rmeta: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs
+
+crates/billing/src/lib.rs:
+crates/billing/src/bill.rs:
+crates/billing/src/tariff.rs:
+crates/billing/src/vcloud.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/edgescope_net-bd2e8a5c0b203e9d.d: crates/net/src/lib.rs crates/net/src/access.rs crates/net/src/fault.rs crates/net/src/geo.rs crates/net/src/path.rs crates/net/src/ping.rs crates/net/src/rng.rs crates/net/src/tcp.rs crates/net/src/traceroute.rs
+
+/root/repo/target/debug/deps/libedgescope_net-bd2e8a5c0b203e9d.rmeta: crates/net/src/lib.rs crates/net/src/access.rs crates/net/src/fault.rs crates/net/src/geo.rs crates/net/src/path.rs crates/net/src/ping.rs crates/net/src/rng.rs crates/net/src/tcp.rs crates/net/src/traceroute.rs
+
+crates/net/src/lib.rs:
+crates/net/src/access.rs:
+crates/net/src/fault.rs:
+crates/net/src/geo.rs:
+crates/net/src/path.rs:
+crates/net/src/ping.rs:
+crates/net/src/rng.rs:
+crates/net/src/tcp.rs:
+crates/net/src/traceroute.rs:

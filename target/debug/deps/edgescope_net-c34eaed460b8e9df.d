@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/edgescope_net-c34eaed460b8e9df.d: crates/net/src/lib.rs crates/net/src/access.rs crates/net/src/fault.rs crates/net/src/geo.rs crates/net/src/path.rs crates/net/src/ping.rs crates/net/src/rng.rs crates/net/src/tcp.rs crates/net/src/traceroute.rs
+
+/root/repo/target/debug/deps/libedgescope_net-c34eaed460b8e9df.rlib: crates/net/src/lib.rs crates/net/src/access.rs crates/net/src/fault.rs crates/net/src/geo.rs crates/net/src/path.rs crates/net/src/ping.rs crates/net/src/rng.rs crates/net/src/tcp.rs crates/net/src/traceroute.rs
+
+/root/repo/target/debug/deps/libedgescope_net-c34eaed460b8e9df.rmeta: crates/net/src/lib.rs crates/net/src/access.rs crates/net/src/fault.rs crates/net/src/geo.rs crates/net/src/path.rs crates/net/src/ping.rs crates/net/src/rng.rs crates/net/src/tcp.rs crates/net/src/traceroute.rs
+
+crates/net/src/lib.rs:
+crates/net/src/access.rs:
+crates/net/src/fault.rs:
+crates/net/src/geo.rs:
+crates/net/src/path.rs:
+crates/net/src/ping.rs:
+crates/net/src/rng.rs:
+crates/net/src/tcp.rs:
+crates/net/src/traceroute.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/edgescope_net-fb1f8d16b09ab10d.d: crates/net/src/lib.rs crates/net/src/access.rs crates/net/src/fault.rs crates/net/src/geo.rs crates/net/src/path.rs crates/net/src/ping.rs crates/net/src/rng.rs crates/net/src/tcp.rs crates/net/src/traceroute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgescope_net-fb1f8d16b09ab10d.rmeta: crates/net/src/lib.rs crates/net/src/access.rs crates/net/src/fault.rs crates/net/src/geo.rs crates/net/src/path.rs crates/net/src/ping.rs crates/net/src/rng.rs crates/net/src/tcp.rs crates/net/src/traceroute.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/access.rs:
+crates/net/src/fault.rs:
+crates/net/src/geo.rs:
+crates/net/src/path.rs:
+crates/net/src/ping.rs:
+crates/net/src/rng.rs:
+crates/net/src/tcp.rs:
+crates/net/src/traceroute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/edgescope_obs-2ef9d20a3e524a15.d: crates/obs/src/lib.rs crates/obs/src/log.rs
+
+/root/repo/target/debug/deps/libedgescope_obs-2ef9d20a3e524a15.rlib: crates/obs/src/lib.rs crates/obs/src/log.rs
+
+/root/repo/target/debug/deps/libedgescope_obs-2ef9d20a3e524a15.rmeta: crates/obs/src/lib.rs crates/obs/src/log.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/log.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/edgescope_obs-c1ec2eda7bc92e90.d: crates/obs/src/lib.rs crates/obs/src/log.rs
+
+/root/repo/target/debug/deps/libedgescope_obs-c1ec2eda7bc92e90.rmeta: crates/obs/src/lib.rs crates/obs/src/log.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/log.rs:

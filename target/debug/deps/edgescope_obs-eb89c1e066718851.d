@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edgescope_obs-eb89c1e066718851.d: crates/obs/src/lib.rs crates/obs/src/log.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgescope_obs-eb89c1e066718851.rmeta: crates/obs/src/lib.rs crates/obs/src/log.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/log.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

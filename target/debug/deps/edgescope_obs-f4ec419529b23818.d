@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/edgescope_obs-f4ec419529b23818.d: crates/obs/src/lib.rs crates/obs/src/log.rs
+
+/root/repo/target/debug/deps/edgescope_obs-f4ec419529b23818: crates/obs/src/lib.rs crates/obs/src/log.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/log.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/edgescope_platform-27c687a7a3464269.d: crates/platform/src/lib.rs crates/platform/src/density.rs crates/platform/src/deployment.rs crates/platform/src/geo_china.rs crates/platform/src/ids.rs crates/platform/src/placement.rs crates/platform/src/resources.rs crates/platform/src/sales.rs crates/platform/src/site.rs
+
+/root/repo/target/debug/deps/edgescope_platform-27c687a7a3464269: crates/platform/src/lib.rs crates/platform/src/density.rs crates/platform/src/deployment.rs crates/platform/src/geo_china.rs crates/platform/src/ids.rs crates/platform/src/placement.rs crates/platform/src/resources.rs crates/platform/src/sales.rs crates/platform/src/site.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/density.rs:
+crates/platform/src/deployment.rs:
+crates/platform/src/geo_china.rs:
+crates/platform/src/ids.rs:
+crates/platform/src/placement.rs:
+crates/platform/src/resources.rs:
+crates/platform/src/sales.rs:
+crates/platform/src/site.rs:

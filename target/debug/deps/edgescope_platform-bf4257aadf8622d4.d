@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/edgescope_platform-bf4257aadf8622d4.d: crates/platform/src/lib.rs crates/platform/src/density.rs crates/platform/src/deployment.rs crates/platform/src/geo_china.rs crates/platform/src/ids.rs crates/platform/src/placement.rs crates/platform/src/resources.rs crates/platform/src/sales.rs crates/platform/src/site.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgescope_platform-bf4257aadf8622d4.rmeta: crates/platform/src/lib.rs crates/platform/src/density.rs crates/platform/src/deployment.rs crates/platform/src/geo_china.rs crates/platform/src/ids.rs crates/platform/src/placement.rs crates/platform/src/resources.rs crates/platform/src/sales.rs crates/platform/src/site.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+crates/platform/src/density.rs:
+crates/platform/src/deployment.rs:
+crates/platform/src/geo_china.rs:
+crates/platform/src/ids.rs:
+crates/platform/src/placement.rs:
+crates/platform/src/resources.rs:
+crates/platform/src/sales.rs:
+crates/platform/src/site.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

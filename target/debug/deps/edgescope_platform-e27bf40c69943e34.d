@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/edgescope_platform-e27bf40c69943e34.d: crates/platform/src/lib.rs crates/platform/src/density.rs crates/platform/src/deployment.rs crates/platform/src/geo_china.rs crates/platform/src/ids.rs crates/platform/src/placement.rs crates/platform/src/resources.rs crates/platform/src/sales.rs crates/platform/src/site.rs
+
+/root/repo/target/debug/deps/libedgescope_platform-e27bf40c69943e34.rlib: crates/platform/src/lib.rs crates/platform/src/density.rs crates/platform/src/deployment.rs crates/platform/src/geo_china.rs crates/platform/src/ids.rs crates/platform/src/placement.rs crates/platform/src/resources.rs crates/platform/src/sales.rs crates/platform/src/site.rs
+
+/root/repo/target/debug/deps/libedgescope_platform-e27bf40c69943e34.rmeta: crates/platform/src/lib.rs crates/platform/src/density.rs crates/platform/src/deployment.rs crates/platform/src/geo_china.rs crates/platform/src/ids.rs crates/platform/src/placement.rs crates/platform/src/resources.rs crates/platform/src/sales.rs crates/platform/src/site.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/density.rs:
+crates/platform/src/deployment.rs:
+crates/platform/src/geo_china.rs:
+crates/platform/src/ids.rs:
+crates/platform/src/placement.rs:
+crates/platform/src/resources.rs:
+crates/platform/src/sales.rs:
+crates/platform/src/site.rs:

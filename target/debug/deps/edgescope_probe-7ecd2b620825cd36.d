@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/edgescope_probe-7ecd2b620825cd36.d: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+/root/repo/target/debug/deps/edgescope_probe-7ecd2b620825cd36: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+crates/probe/src/lib.rs:
+crates/probe/src/intersite.rs:
+crates/probe/src/latency.rs:
+crates/probe/src/pool.rs:
+crates/probe/src/records.rs:
+crates/probe/src/stream.rs:
+crates/probe/src/throughput.rs:
+crates/probe/src/user.rs:

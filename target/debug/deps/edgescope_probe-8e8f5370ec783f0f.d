@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/edgescope_probe-8e8f5370ec783f0f.d: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+/root/repo/target/debug/deps/libedgescope_probe-8e8f5370ec783f0f.rmeta: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+crates/probe/src/lib.rs:
+crates/probe/src/intersite.rs:
+crates/probe/src/latency.rs:
+crates/probe/src/pool.rs:
+crates/probe/src/records.rs:
+crates/probe/src/stream.rs:
+crates/probe/src/throughput.rs:
+crates/probe/src/user.rs:

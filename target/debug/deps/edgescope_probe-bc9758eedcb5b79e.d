@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/edgescope_probe-bc9758eedcb5b79e.d: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+/root/repo/target/debug/deps/libedgescope_probe-bc9758eedcb5b79e.rlib: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+/root/repo/target/debug/deps/libedgescope_probe-bc9758eedcb5b79e.rmeta: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+crates/probe/src/lib.rs:
+crates/probe/src/intersite.rs:
+crates/probe/src/latency.rs:
+crates/probe/src/pool.rs:
+crates/probe/src/records.rs:
+crates/probe/src/stream.rs:
+crates/probe/src/throughput.rs:
+crates/probe/src/user.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/edgescope_qoe-545f881b41481423.d: crates/qoe/src/lib.rs crates/qoe/src/device.rs crates/qoe/src/framesim.rs crates/qoe/src/game.rs crates/qoe/src/gaming.rs crates/qoe/src/link.rs crates/qoe/src/streaming.rs crates/qoe/src/video.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgescope_qoe-545f881b41481423.rmeta: crates/qoe/src/lib.rs crates/qoe/src/device.rs crates/qoe/src/framesim.rs crates/qoe/src/game.rs crates/qoe/src/gaming.rs crates/qoe/src/link.rs crates/qoe/src/streaming.rs crates/qoe/src/video.rs Cargo.toml
+
+crates/qoe/src/lib.rs:
+crates/qoe/src/device.rs:
+crates/qoe/src/framesim.rs:
+crates/qoe/src/game.rs:
+crates/qoe/src/gaming.rs:
+crates/qoe/src/link.rs:
+crates/qoe/src/streaming.rs:
+crates/qoe/src/video.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

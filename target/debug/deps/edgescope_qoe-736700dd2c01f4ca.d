@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/edgescope_qoe-736700dd2c01f4ca.d: crates/qoe/src/lib.rs crates/qoe/src/device.rs crates/qoe/src/framesim.rs crates/qoe/src/game.rs crates/qoe/src/gaming.rs crates/qoe/src/link.rs crates/qoe/src/streaming.rs crates/qoe/src/video.rs
+
+/root/repo/target/debug/deps/libedgescope_qoe-736700dd2c01f4ca.rmeta: crates/qoe/src/lib.rs crates/qoe/src/device.rs crates/qoe/src/framesim.rs crates/qoe/src/game.rs crates/qoe/src/gaming.rs crates/qoe/src/link.rs crates/qoe/src/streaming.rs crates/qoe/src/video.rs
+
+crates/qoe/src/lib.rs:
+crates/qoe/src/device.rs:
+crates/qoe/src/framesim.rs:
+crates/qoe/src/game.rs:
+crates/qoe/src/gaming.rs:
+crates/qoe/src/link.rs:
+crates/qoe/src/streaming.rs:
+crates/qoe/src/video.rs:

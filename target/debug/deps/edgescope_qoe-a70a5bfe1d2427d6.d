@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/edgescope_qoe-a70a5bfe1d2427d6.d: crates/qoe/src/lib.rs crates/qoe/src/device.rs crates/qoe/src/framesim.rs crates/qoe/src/game.rs crates/qoe/src/gaming.rs crates/qoe/src/link.rs crates/qoe/src/streaming.rs crates/qoe/src/video.rs
+
+/root/repo/target/debug/deps/libedgescope_qoe-a70a5bfe1d2427d6.rlib: crates/qoe/src/lib.rs crates/qoe/src/device.rs crates/qoe/src/framesim.rs crates/qoe/src/game.rs crates/qoe/src/gaming.rs crates/qoe/src/link.rs crates/qoe/src/streaming.rs crates/qoe/src/video.rs
+
+/root/repo/target/debug/deps/libedgescope_qoe-a70a5bfe1d2427d6.rmeta: crates/qoe/src/lib.rs crates/qoe/src/device.rs crates/qoe/src/framesim.rs crates/qoe/src/game.rs crates/qoe/src/gaming.rs crates/qoe/src/link.rs crates/qoe/src/streaming.rs crates/qoe/src/video.rs
+
+crates/qoe/src/lib.rs:
+crates/qoe/src/device.rs:
+crates/qoe/src/framesim.rs:
+crates/qoe/src/game.rs:
+crates/qoe/src/gaming.rs:
+crates/qoe/src/link.rs:
+crates/qoe/src/streaming.rs:
+crates/qoe/src/video.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/edgescope_sched-4bbefac70bc5924b.d: crates/sched/src/lib.rs crates/sched/src/elastic.rs crates/sched/src/gslb.rs crates/sched/src/migration.rs crates/sched/src/predictive.rs crates/sched/src/requests.rs crates/sched/src/simulate.rs
+
+/root/repo/target/debug/deps/libedgescope_sched-4bbefac70bc5924b.rmeta: crates/sched/src/lib.rs crates/sched/src/elastic.rs crates/sched/src/gslb.rs crates/sched/src/migration.rs crates/sched/src/predictive.rs crates/sched/src/requests.rs crates/sched/src/simulate.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/elastic.rs:
+crates/sched/src/gslb.rs:
+crates/sched/src/migration.rs:
+crates/sched/src/predictive.rs:
+crates/sched/src/requests.rs:
+crates/sched/src/simulate.rs:

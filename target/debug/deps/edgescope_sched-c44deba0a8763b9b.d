@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/edgescope_sched-c44deba0a8763b9b.d: crates/sched/src/lib.rs crates/sched/src/elastic.rs crates/sched/src/gslb.rs crates/sched/src/migration.rs crates/sched/src/predictive.rs crates/sched/src/requests.rs crates/sched/src/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgescope_sched-c44deba0a8763b9b.rmeta: crates/sched/src/lib.rs crates/sched/src/elastic.rs crates/sched/src/gslb.rs crates/sched/src/migration.rs crates/sched/src/predictive.rs crates/sched/src/requests.rs crates/sched/src/simulate.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/elastic.rs:
+crates/sched/src/gslb.rs:
+crates/sched/src/migration.rs:
+crates/sched/src/predictive.rs:
+crates/sched/src/requests.rs:
+crates/sched/src/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/edgescope_trace-5447a743c349b432.d: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/dataset.rs crates/trace/src/flavor.rs crates/trace/src/io.rs crates/trace/src/pool.rs crates/trace/src/population.rs crates/trace/src/series.rs crates/trace/src/stream.rs crates/trace/src/validate.rs
+
+/root/repo/target/debug/deps/libedgescope_trace-5447a743c349b432.rlib: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/dataset.rs crates/trace/src/flavor.rs crates/trace/src/io.rs crates/trace/src/pool.rs crates/trace/src/population.rs crates/trace/src/series.rs crates/trace/src/stream.rs crates/trace/src/validate.rs
+
+/root/repo/target/debug/deps/libedgescope_trace-5447a743c349b432.rmeta: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/dataset.rs crates/trace/src/flavor.rs crates/trace/src/io.rs crates/trace/src/pool.rs crates/trace/src/population.rs crates/trace/src/series.rs crates/trace/src/stream.rs crates/trace/src/validate.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/app.rs:
+crates/trace/src/dataset.rs:
+crates/trace/src/flavor.rs:
+crates/trace/src/io.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/population.rs:
+crates/trace/src/series.rs:
+crates/trace/src/stream.rs:
+crates/trace/src/validate.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/edgescope_trace-d4b9914c8a925e8a.d: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/dataset.rs crates/trace/src/flavor.rs crates/trace/src/io.rs crates/trace/src/pool.rs crates/trace/src/population.rs crates/trace/src/series.rs crates/trace/src/stream.rs crates/trace/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgescope_trace-d4b9914c8a925e8a.rmeta: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/dataset.rs crates/trace/src/flavor.rs crates/trace/src/io.rs crates/trace/src/pool.rs crates/trace/src/population.rs crates/trace/src/series.rs crates/trace/src/stream.rs crates/trace/src/validate.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/app.rs:
+crates/trace/src/dataset.rs:
+crates/trace/src/flavor.rs:
+crates/trace/src/io.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/population.rs:
+crates/trace/src/series.rs:
+crates/trace/src/stream.rs:
+crates/trace/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

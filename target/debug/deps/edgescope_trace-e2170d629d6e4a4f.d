@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/edgescope_trace-e2170d629d6e4a4f.d: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/dataset.rs crates/trace/src/flavor.rs crates/trace/src/io.rs crates/trace/src/pool.rs crates/trace/src/population.rs crates/trace/src/series.rs crates/trace/src/stream.rs crates/trace/src/validate.rs
+
+/root/repo/target/debug/deps/edgescope_trace-e2170d629d6e4a4f: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/dataset.rs crates/trace/src/flavor.rs crates/trace/src/io.rs crates/trace/src/pool.rs crates/trace/src/population.rs crates/trace/src/series.rs crates/trace/src/stream.rs crates/trace/src/validate.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/app.rs:
+crates/trace/src/dataset.rs:
+crates/trace/src/flavor.rs:
+crates/trace/src/io.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/population.rs:
+crates/trace/src/series.rs:
+crates/trace/src/stream.rs:
+crates/trace/src/validate.rs:

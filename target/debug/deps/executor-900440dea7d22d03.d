@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor-900440dea7d22d03.d: crates/bench/benches/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor-900440dea7d22d03.rmeta: crates/bench/benches/executor.rs Cargo.toml
+
+crates/bench/benches/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

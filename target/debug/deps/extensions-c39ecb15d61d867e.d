@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-c39ecb15d61d867e.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-c39ecb15d61d867e.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

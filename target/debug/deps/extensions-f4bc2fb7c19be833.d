@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f4bc2fb7c19be833.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f4bc2fb7c19be833: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault-4e99e4a429e218b7.d: crates/probe/tests/fault.rs
+
+/root/repo/target/debug/deps/fault-4e99e4a429e218b7: crates/probe/tests/fault.rs
+
+crates/probe/tests/fault.rs:

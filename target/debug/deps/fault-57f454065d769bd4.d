@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault-57f454065d769bd4.d: crates/probe/tests/fault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault-57f454065d769bd4.rmeta: crates/probe/tests/fault.rs Cargo.toml
+
+crates/probe/tests/fault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

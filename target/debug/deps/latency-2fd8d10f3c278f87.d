@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency-2fd8d10f3c278f87.d: crates/bench/benches/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency-2fd8d10f3c278f87.rmeta: crates/bench/benches/latency.rs Cargo.toml
+
+crates/bench/benches/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

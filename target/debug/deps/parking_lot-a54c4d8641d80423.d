@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-a54c4d8641d80423.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-a54c4d8641d80423: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-c514d6465525e43d.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c514d6465525e43d.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c514d6465525e43d.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predict_baseline-3e9bebb09456096b.d: crates/bench/src/bin/predict-baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredict_baseline-3e9bebb09456096b.rmeta: crates/bench/src/bin/predict-baseline.rs Cargo.toml
+
+crates/bench/src/bin/predict-baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predict_baseline-616ba2c7c86a6366.d: crates/bench/src/bin/predict-baseline.rs
+
+/root/repo/target/debug/deps/predict_baseline-616ba2c7c86a6366: crates/bench/src/bin/predict-baseline.rs
+
+crates/bench/src/bin/predict-baseline.rs:

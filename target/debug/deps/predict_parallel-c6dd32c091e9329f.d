@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predict_parallel-c6dd32c091e9329f.d: crates/bench/benches/predict_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredict_parallel-c6dd32c091e9329f.rmeta: crates/bench/benches/predict_parallel.rs Cargo.toml
+
+crates/bench/benches/predict_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prediction-0b568e111110dd2d.d: crates/bench/benches/prediction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprediction-0b568e111110dd2d.rmeta: crates/bench/benches/prediction.rs Cargo.toml
+
+crates/bench/benches/prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-991c25f053b23da1.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-991c25f053b23da1: tests/properties.rs
+
+tests/properties.rs:

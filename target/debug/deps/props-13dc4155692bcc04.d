@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-13dc4155692bcc04.d: crates/qoe/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-13dc4155692bcc04.rmeta: crates/qoe/tests/props.rs Cargo.toml
+
+crates/qoe/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-1902405b1f80c3f4.d: crates/billing/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-1902405b1f80c3f4.rmeta: crates/billing/tests/props.rs Cargo.toml
+
+crates/billing/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-3d136f990309492c.d: crates/qoe/tests/props.rs
+
+/root/repo/target/debug/deps/props-3d136f990309492c: crates/qoe/tests/props.rs
+
+crates/qoe/tests/props.rs:

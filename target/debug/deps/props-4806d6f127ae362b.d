@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-4806d6f127ae362b.d: crates/trace/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-4806d6f127ae362b.rmeta: crates/trace/tests/props.rs Cargo.toml
+
+crates/trace/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-483f4d6aef53a700.d: crates/predict/tests/props.rs
+
+/root/repo/target/debug/deps/props-483f4d6aef53a700: crates/predict/tests/props.rs
+
+crates/predict/tests/props.rs:

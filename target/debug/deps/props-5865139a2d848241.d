@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-5865139a2d848241.d: crates/trace/tests/props.rs
+
+/root/repo/target/debug/deps/props-5865139a2d848241: crates/trace/tests/props.rs
+
+crates/trace/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-60207262acf2019f.d: crates/analysis/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-60207262acf2019f.rmeta: crates/analysis/tests/props.rs Cargo.toml
+
+crates/analysis/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

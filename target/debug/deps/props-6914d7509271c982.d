@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-6914d7509271c982.d: crates/analysis/tests/props.rs
+
+/root/repo/target/debug/deps/props-6914d7509271c982: crates/analysis/tests/props.rs
+
+crates/analysis/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-8beace17a85c0340.d: crates/predict/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-8beace17a85c0340.rmeta: crates/predict/tests/props.rs Cargo.toml
+
+crates/predict/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

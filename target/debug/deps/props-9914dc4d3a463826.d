@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-9914dc4d3a463826.d: crates/net/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-9914dc4d3a463826.rmeta: crates/net/tests/props.rs Cargo.toml
+
+crates/net/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-a70a689b25a9943a.d: crates/sched/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-a70a689b25a9943a.rmeta: crates/sched/tests/props.rs Cargo.toml
+
+crates/sched/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

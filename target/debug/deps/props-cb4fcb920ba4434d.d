@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-cb4fcb920ba4434d.d: crates/billing/tests/props.rs
+
+/root/repo/target/debug/deps/props-cb4fcb920ba4434d: crates/billing/tests/props.rs
+
+crates/billing/tests/props.rs:

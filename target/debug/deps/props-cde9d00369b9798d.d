@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-cde9d00369b9798d.d: crates/net/tests/props.rs
+
+/root/repo/target/debug/deps/props-cde9d00369b9798d: crates/net/tests/props.rs
+
+crates/net/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-d739e178b2c72c86.d: crates/sched/tests/props.rs
+
+/root/repo/target/debug/deps/props-d739e178b2c72c86: crates/sched/tests/props.rs
+
+crates/sched/tests/props.rs:

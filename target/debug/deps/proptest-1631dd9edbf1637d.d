@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-1631dd9edbf1637d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1631dd9edbf1637d.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1631dd9edbf1637d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

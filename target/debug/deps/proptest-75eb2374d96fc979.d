@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-75eb2374d96fc979.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-75eb2374d96fc979: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qoe-a8982a1f6ba0e946.d: crates/bench/benches/qoe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqoe-a8982a1f6ba0e946.rmeta: crates/bench/benches/qoe.rs Cargo.toml
+
+crates/bench/benches/qoe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

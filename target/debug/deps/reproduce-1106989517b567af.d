@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-1106989517b567af.d: crates/core/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-1106989517b567af: crates/core/src/bin/reproduce.rs
+
+crates/core/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-1da819d6b30f7ff1.d: crates/core/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-1da819d6b30f7ff1: crates/core/src/bin/reproduce.rs
+
+crates/core/src/bin/reproduce.rs:

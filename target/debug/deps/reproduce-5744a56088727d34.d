@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce-5744a56088727d34.d: crates/core/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-5744a56088727d34.rmeta: crates/core/src/bin/reproduce.rs Cargo.toml
+
+crates/core/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

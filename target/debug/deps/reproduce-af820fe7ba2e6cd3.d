@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce-af820fe7ba2e6cd3.d: crates/core/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-af820fe7ba2e6cd3.rmeta: crates/core/src/bin/reproduce.rs Cargo.toml
+
+crates/core/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_bench-944e5a60d02bdf24.d: crates/bench/src/bin/scale-bench.rs
+
+/root/repo/target/debug/deps/scale_bench-944e5a60d02bdf24: crates/bench/src/bin/scale-bench.rs
+
+crates/bench/src/bin/scale-bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale_bench-f9ad5f339f24ce79.d: crates/bench/src/bin/scale-bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale_bench-f9ad5f339f24ce79.rmeta: crates/bench/src/bin/scale-bench.rs Cargo.toml
+
+crates/bench/src/bin/scale-bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/study_parallel-7fbfc85d8aaa7872.d: crates/bench/benches/study_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstudy_parallel-7fbfc85d8aaa7872.rmeta: crates/bench/benches/study_parallel.rs Cargo.toml
+
+crates/bench/benches/study_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/study_parallel_baseline-03be963893af5e88.d: crates/bench/src/bin/study-parallel-baseline.rs
+
+/root/repo/target/debug/deps/study_parallel_baseline-03be963893af5e88: crates/bench/src/bin/study-parallel-baseline.rs
+
+crates/bench/src/bin/study-parallel-baseline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/study_parallel_baseline-31d37ed09aec78be.d: crates/bench/src/bin/study-parallel-baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstudy_parallel_baseline-31d37ed09aec78be.rmeta: crates/bench/src/bin/study-parallel-baseline.rs Cargo.toml
+
+crates/bench/src/bin/study-parallel-baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

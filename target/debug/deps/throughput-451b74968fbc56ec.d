@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/throughput-451b74968fbc56ec.d: crates/bench/benches/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthroughput-451b74968fbc56ec.rmeta: crates/bench/benches/throughput.rs Cargo.toml
+
+crates/bench/benches/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

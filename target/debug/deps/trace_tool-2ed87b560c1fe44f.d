@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-2ed87b560c1fe44f.d: crates/trace/src/bin/trace-tool.rs
+
+/root/repo/target/debug/deps/trace_tool-2ed87b560c1fe44f: crates/trace/src/bin/trace-tool.rs
+
+crates/trace/src/bin/trace-tool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_tool-66cc555fa5b9a8b4.d: crates/trace/src/bin/trace-tool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_tool-66cc555fa5b9a8b4.rmeta: crates/trace/src/bin/trace-tool.rs Cargo.toml
+
+crates/trace/src/bin/trace-tool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

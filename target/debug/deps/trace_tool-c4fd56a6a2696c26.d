@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-c4fd56a6a2696c26.d: crates/trace/src/bin/trace-tool.rs
+
+/root/repo/target/debug/deps/trace_tool-c4fd56a6a2696c26: crates/trace/src/bin/trace-tool.rs
+
+crates/trace/src/bin/trace-tool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_tool-ecb9db0d9d27772f.d: crates/trace/src/bin/trace-tool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_tool-ecb9db0d9d27772f.rmeta: crates/trace/src/bin/trace-tool.rs Cargo.toml
+
+crates/trace/src/bin/trace-tool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

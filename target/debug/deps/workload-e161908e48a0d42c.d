@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload-e161908e48a0d42c.d: crates/bench/benches/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload-e161908e48a0d42c.rmeta: crates/bench/benches/workload.rs Cargo.toml
+
+crates/bench/benches/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/billing_study-85805723bbe41fab.d: examples/billing_study.rs
+
+/root/repo/target/debug/examples/billing_study-85805723bbe41fab: examples/billing_study.rs
+
+examples/billing_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/billing_study-fc7024e564a13a9c.d: examples/billing_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbilling_study-fc7024e564a13a9c.rmeta: examples/billing_study.rs Cargo.toml
+
+examples/billing_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crowd_campaign-129b8f2502a1bb8e.d: examples/crowd_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrowd_campaign-129b8f2502a1bb8e.rmeta: examples/crowd_campaign.rs Cargo.toml
+
+examples/crowd_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

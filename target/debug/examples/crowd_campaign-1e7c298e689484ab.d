@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crowd_campaign-1e7c298e689484ab.d: examples/crowd_campaign.rs
+
+/root/repo/target/debug/examples/crowd_campaign-1e7c298e689484ab: examples/crowd_campaign.rs
+
+examples/crowd_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_operations-174f097ebb85d003.d: examples/edge_operations.rs
+
+/root/repo/target/debug/examples/edge_operations-174f097ebb85d003: examples/edge_operations.rs
+
+examples/edge_operations.rs:

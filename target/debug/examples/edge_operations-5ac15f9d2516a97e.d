@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_operations-5ac15f9d2516a97e.d: examples/edge_operations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_operations-5ac15f9d2516a97e.rmeta: examples/edge_operations.rs Cargo.toml
+
+examples/edge_operations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

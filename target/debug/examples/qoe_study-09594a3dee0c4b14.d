@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qoe_study-09594a3dee0c4b14.d: examples/qoe_study.rs
+
+/root/repo/target/debug/examples/qoe_study-09594a3dee0c4b14: examples/qoe_study.rs
+
+examples/qoe_study.rs:

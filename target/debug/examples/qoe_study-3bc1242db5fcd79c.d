@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qoe_study-3bc1242db5fcd79c.d: examples/qoe_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqoe_study-3bc1242db5fcd79c.rmeta: examples/qoe_study.rs Cargo.toml
+
+examples/qoe_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

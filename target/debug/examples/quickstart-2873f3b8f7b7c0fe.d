@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2873f3b8f7b7c0fe.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2873f3b8f7b7c0fe: examples/quickstart.rs
+
+examples/quickstart.rs:

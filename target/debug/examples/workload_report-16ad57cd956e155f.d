@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_report-16ad57cd956e155f.d: examples/workload_report.rs
+
+/root/repo/target/debug/examples/workload_report-16ad57cd956e155f: examples/workload_report.rs
+
+examples/workload_report.rs:

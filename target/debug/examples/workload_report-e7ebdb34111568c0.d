@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workload_report-e7ebdb34111568c0.d: examples/workload_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkload_report-e7ebdb34111568c0.rmeta: examples/workload_report.rs Cargo.toml
+
+examples/workload_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["edgescope_platform",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"edgescope_platform/placement/enum.PlacementError.html\" title=\"enum edgescope_platform::placement::PlacementError\">PlacementError</a>",0]]],["edgescope_probe",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"edgescope_probe/records/enum.RecordError.html\" title=\"enum edgescope_probe::records::RecordError\">RecordError</a>",0]]],["edgescope_trace",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"edgescope_trace/io/enum.ParseError.html\" title=\"enum edgescope_trace::io::ParseError\">ParseError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[334,313,300]}

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-008ffa773100feb4.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-008ffa773100feb4.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-008ffa773100feb4.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_tool-b0b7113d41587fae.d: crates/probe/src/bin/campaign-tool.rs
+
+/root/repo/target/release/deps/campaign_tool-b0b7113d41587fae: crates/probe/src/bin/campaign-tool.rs
+
+crates/probe/src/bin/campaign-tool.rs:

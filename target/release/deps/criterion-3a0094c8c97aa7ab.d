@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3a0094c8c97aa7ab.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3a0094c8c97aa7ab.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3a0094c8c97aa7ab.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edgescope-a80c4603250337c1.d: src/lib.rs
+
+/root/repo/target/release/deps/libedgescope-a80c4603250337c1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libedgescope-a80c4603250337c1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/edgescope_analysis-710d1f3d6529cca6.d: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/cdf.rs crates/analysis/src/histogram.rs crates/analysis/src/imbalance.rs crates/analysis/src/pearson.rs crates/analysis/src/regression.rs crates/analysis/src/seasonality.rs crates/analysis/src/sketch.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/release/deps/libedgescope_analysis-710d1f3d6529cca6.rlib: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/cdf.rs crates/analysis/src/histogram.rs crates/analysis/src/imbalance.rs crates/analysis/src/pearson.rs crates/analysis/src/regression.rs crates/analysis/src/seasonality.rs crates/analysis/src/sketch.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/release/deps/libedgescope_analysis-710d1f3d6529cca6.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/cdf.rs crates/analysis/src/histogram.rs crates/analysis/src/imbalance.rs crates/analysis/src/pearson.rs crates/analysis/src/regression.rs crates/analysis/src/seasonality.rs crates/analysis/src/sketch.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bootstrap.rs:
+crates/analysis/src/cdf.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/imbalance.rs:
+crates/analysis/src/pearson.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/seasonality.rs:
+crates/analysis/src/sketch.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeseries.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edgescope_bench-7a5edfe4ea792c51.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libedgescope_bench-7a5edfe4ea792c51.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libedgescope_bench-7a5edfe4ea792c51.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/edgescope_billing-7d0af6a39ecf8d10.d: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs
+
+/root/repo/target/release/deps/libedgescope_billing-7d0af6a39ecf8d10.rlib: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs
+
+/root/repo/target/release/deps/libedgescope_billing-7d0af6a39ecf8d10.rmeta: crates/billing/src/lib.rs crates/billing/src/bill.rs crates/billing/src/tariff.rs crates/billing/src/vcloud.rs
+
+crates/billing/src/lib.rs:
+crates/billing/src/bill.rs:
+crates/billing/src/tariff.rs:
+crates/billing/src/vcloud.rs:

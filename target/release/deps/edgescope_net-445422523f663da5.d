@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/edgescope_net-445422523f663da5.d: crates/net/src/lib.rs crates/net/src/access.rs crates/net/src/fault.rs crates/net/src/geo.rs crates/net/src/path.rs crates/net/src/ping.rs crates/net/src/rng.rs crates/net/src/tcp.rs crates/net/src/traceroute.rs
+
+/root/repo/target/release/deps/libedgescope_net-445422523f663da5.rlib: crates/net/src/lib.rs crates/net/src/access.rs crates/net/src/fault.rs crates/net/src/geo.rs crates/net/src/path.rs crates/net/src/ping.rs crates/net/src/rng.rs crates/net/src/tcp.rs crates/net/src/traceroute.rs
+
+/root/repo/target/release/deps/libedgescope_net-445422523f663da5.rmeta: crates/net/src/lib.rs crates/net/src/access.rs crates/net/src/fault.rs crates/net/src/geo.rs crates/net/src/path.rs crates/net/src/ping.rs crates/net/src/rng.rs crates/net/src/tcp.rs crates/net/src/traceroute.rs
+
+crates/net/src/lib.rs:
+crates/net/src/access.rs:
+crates/net/src/fault.rs:
+crates/net/src/geo.rs:
+crates/net/src/path.rs:
+crates/net/src/ping.rs:
+crates/net/src/rng.rs:
+crates/net/src/tcp.rs:
+crates/net/src/traceroute.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/edgescope_obs-fe5cb19c16807951.d: crates/obs/src/lib.rs crates/obs/src/log.rs
+
+/root/repo/target/release/deps/libedgescope_obs-fe5cb19c16807951.rlib: crates/obs/src/lib.rs crates/obs/src/log.rs
+
+/root/repo/target/release/deps/libedgescope_obs-fe5cb19c16807951.rmeta: crates/obs/src/lib.rs crates/obs/src/log.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/log.rs:

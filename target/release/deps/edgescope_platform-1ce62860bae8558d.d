@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/edgescope_platform-1ce62860bae8558d.d: crates/platform/src/lib.rs crates/platform/src/density.rs crates/platform/src/deployment.rs crates/platform/src/geo_china.rs crates/platform/src/ids.rs crates/platform/src/placement.rs crates/platform/src/resources.rs crates/platform/src/sales.rs crates/platform/src/site.rs
+
+/root/repo/target/release/deps/libedgescope_platform-1ce62860bae8558d.rlib: crates/platform/src/lib.rs crates/platform/src/density.rs crates/platform/src/deployment.rs crates/platform/src/geo_china.rs crates/platform/src/ids.rs crates/platform/src/placement.rs crates/platform/src/resources.rs crates/platform/src/sales.rs crates/platform/src/site.rs
+
+/root/repo/target/release/deps/libedgescope_platform-1ce62860bae8558d.rmeta: crates/platform/src/lib.rs crates/platform/src/density.rs crates/platform/src/deployment.rs crates/platform/src/geo_china.rs crates/platform/src/ids.rs crates/platform/src/placement.rs crates/platform/src/resources.rs crates/platform/src/sales.rs crates/platform/src/site.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/density.rs:
+crates/platform/src/deployment.rs:
+crates/platform/src/geo_china.rs:
+crates/platform/src/ids.rs:
+crates/platform/src/placement.rs:
+crates/platform/src/resources.rs:
+crates/platform/src/sales.rs:
+crates/platform/src/site.rs:

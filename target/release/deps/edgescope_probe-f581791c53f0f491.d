@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/edgescope_probe-f581791c53f0f491.d: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+/root/repo/target/release/deps/libedgescope_probe-f581791c53f0f491.rlib: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+/root/repo/target/release/deps/libedgescope_probe-f581791c53f0f491.rmeta: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+crates/probe/src/lib.rs:
+crates/probe/src/intersite.rs:
+crates/probe/src/latency.rs:
+crates/probe/src/pool.rs:
+crates/probe/src/records.rs:
+crates/probe/src/stream.rs:
+crates/probe/src/throughput.rs:
+crates/probe/src/user.rs:

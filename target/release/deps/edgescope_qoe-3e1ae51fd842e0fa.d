@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/edgescope_qoe-3e1ae51fd842e0fa.d: crates/qoe/src/lib.rs crates/qoe/src/device.rs crates/qoe/src/framesim.rs crates/qoe/src/game.rs crates/qoe/src/gaming.rs crates/qoe/src/link.rs crates/qoe/src/streaming.rs crates/qoe/src/video.rs
+
+/root/repo/target/release/deps/libedgescope_qoe-3e1ae51fd842e0fa.rlib: crates/qoe/src/lib.rs crates/qoe/src/device.rs crates/qoe/src/framesim.rs crates/qoe/src/game.rs crates/qoe/src/gaming.rs crates/qoe/src/link.rs crates/qoe/src/streaming.rs crates/qoe/src/video.rs
+
+/root/repo/target/release/deps/libedgescope_qoe-3e1ae51fd842e0fa.rmeta: crates/qoe/src/lib.rs crates/qoe/src/device.rs crates/qoe/src/framesim.rs crates/qoe/src/game.rs crates/qoe/src/gaming.rs crates/qoe/src/link.rs crates/qoe/src/streaming.rs crates/qoe/src/video.rs
+
+crates/qoe/src/lib.rs:
+crates/qoe/src/device.rs:
+crates/qoe/src/framesim.rs:
+crates/qoe/src/game.rs:
+crates/qoe/src/gaming.rs:
+crates/qoe/src/link.rs:
+crates/qoe/src/streaming.rs:
+crates/qoe/src/video.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/edgescope_sched-4d93292be9092139.d: crates/sched/src/lib.rs crates/sched/src/elastic.rs crates/sched/src/gslb.rs crates/sched/src/migration.rs crates/sched/src/predictive.rs crates/sched/src/requests.rs crates/sched/src/simulate.rs
+
+/root/repo/target/release/deps/libedgescope_sched-4d93292be9092139.rlib: crates/sched/src/lib.rs crates/sched/src/elastic.rs crates/sched/src/gslb.rs crates/sched/src/migration.rs crates/sched/src/predictive.rs crates/sched/src/requests.rs crates/sched/src/simulate.rs
+
+/root/repo/target/release/deps/libedgescope_sched-4d93292be9092139.rmeta: crates/sched/src/lib.rs crates/sched/src/elastic.rs crates/sched/src/gslb.rs crates/sched/src/migration.rs crates/sched/src/predictive.rs crates/sched/src/requests.rs crates/sched/src/simulate.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/elastic.rs:
+crates/sched/src/gslb.rs:
+crates/sched/src/migration.rs:
+crates/sched/src/predictive.rs:
+crates/sched/src/requests.rs:
+crates/sched/src/simulate.rs:

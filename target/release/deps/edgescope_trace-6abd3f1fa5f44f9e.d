@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/edgescope_trace-6abd3f1fa5f44f9e.d: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/dataset.rs crates/trace/src/flavor.rs crates/trace/src/io.rs crates/trace/src/pool.rs crates/trace/src/population.rs crates/trace/src/series.rs crates/trace/src/stream.rs crates/trace/src/validate.rs
+
+/root/repo/target/release/deps/libedgescope_trace-6abd3f1fa5f44f9e.rlib: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/dataset.rs crates/trace/src/flavor.rs crates/trace/src/io.rs crates/trace/src/pool.rs crates/trace/src/population.rs crates/trace/src/series.rs crates/trace/src/stream.rs crates/trace/src/validate.rs
+
+/root/repo/target/release/deps/libedgescope_trace-6abd3f1fa5f44f9e.rmeta: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/dataset.rs crates/trace/src/flavor.rs crates/trace/src/io.rs crates/trace/src/pool.rs crates/trace/src/population.rs crates/trace/src/series.rs crates/trace/src/stream.rs crates/trace/src/validate.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/app.rs:
+crates/trace/src/dataset.rs:
+crates/trace/src/flavor.rs:
+crates/trace/src/io.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/population.rs:
+crates/trace/src/series.rs:
+crates/trace/src/stream.rs:
+crates/trace/src/validate.rs:

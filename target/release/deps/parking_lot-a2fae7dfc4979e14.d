@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-a2fae7dfc4979e14.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-a2fae7dfc4979e14.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-a2fae7dfc4979e14.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predict_baseline-1855777832560970.d: crates/bench/src/bin/predict-baseline.rs
+
+/root/repo/target/release/deps/predict_baseline-1855777832560970: crates/bench/src/bin/predict-baseline.rs
+
+crates/bench/src/bin/predict-baseline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-4faea7f891b67a82.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4faea7f891b67a82.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4faea7f891b67a82.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

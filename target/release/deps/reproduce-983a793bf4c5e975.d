@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-983a793bf4c5e975.d: crates/core/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-983a793bf4c5e975: crates/core/src/bin/reproduce.rs
+
+crates/core/src/bin/reproduce.rs:

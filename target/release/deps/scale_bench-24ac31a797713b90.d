@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale_bench-24ac31a797713b90.d: crates/bench/src/bin/scale-bench.rs
+
+/root/repo/target/release/deps/scale_bench-24ac31a797713b90: crates/bench/src/bin/scale-bench.rs
+
+crates/bench/src/bin/scale-bench.rs:

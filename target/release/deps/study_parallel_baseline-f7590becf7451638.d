@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/study_parallel_baseline-f7590becf7451638.d: crates/bench/src/bin/study-parallel-baseline.rs
+
+/root/repo/target/release/deps/study_parallel_baseline-f7590becf7451638: crates/bench/src/bin/study-parallel-baseline.rs
+
+crates/bench/src/bin/study-parallel-baseline.rs:

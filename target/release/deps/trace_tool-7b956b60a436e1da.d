@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_tool-7b956b60a436e1da.d: crates/trace/src/bin/trace-tool.rs
+
+/root/repo/target/release/deps/trace_tool-7b956b60a436e1da: crates/trace/src/bin/trace-tool.rs
+
+crates/trace/src/bin/trace-tool.rs:

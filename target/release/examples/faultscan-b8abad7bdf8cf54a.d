@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/faultscan-b8abad7bdf8cf54a.d: crates/probe/examples/faultscan.rs
+
+/root/repo/target/release/examples/faultscan-b8abad7bdf8cf54a: crates/probe/examples/faultscan.rs
+
+crates/probe/examples/faultscan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seedscan-455e333a17521942.d: crates/core/examples/seedscan.rs
+
+/root/repo/target/release/examples/seedscan-455e333a17521942: crates/core/examples/seedscan.rs
+
+crates/core/examples/seedscan.rs:

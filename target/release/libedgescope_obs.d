@@ -1,0 +1,1 @@
+/root/repo/target/release/libedgescope_obs.rlib: /root/repo/crates/obs/src/lib.rs /root/repo/crates/obs/src/log.rs

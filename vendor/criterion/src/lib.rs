@@ -1,0 +1,205 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use. The build environment has no access to
+//! crates.io, so the workspace vendors this shim: each `bench_function`
+//! runs one warm-up plus a few timed iterations and prints a single
+//! `group/name  median` line to stderr — enough to compare runs by eye
+//! and to keep every `benches/*.rs` target compiling under
+//! `cargo bench` / `clippy --all-targets`, without upstream criterion's
+//! statistical machinery.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Timed iterations after the warm-up run.
+const TIMED_ITERS: usize = 3;
+
+/// Opaque-to-the-optimiser value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier; also constructed implicitly from `&str`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure of each benchmark; drives the iterations.
+pub struct Bencher {
+    median_ns: u128,
+}
+
+impl Bencher {
+    /// Run the routine: one warm-up, then a few timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let mut samples = [0u128; TIMED_ITERS];
+        for s in &mut samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            *s = t0.elapsed().as_nanos();
+        }
+        samples.sort_unstable();
+        self.median_ns = samples[TIMED_ITERS / 2];
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores the hint.
+    pub fn measurement_time(&mut self, _t: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Time `f` and report one line.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { median_ns: 0 };
+        f(&mut b);
+        report(&self.name, &id.id, b.median_ns);
+        self
+    }
+
+    /// Time `f` over `input` and report one line.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { median_ns: 0 };
+        f(&mut b, input);
+        report(&self.name, &id.id, b.median_ns);
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, ns: u128) {
+    let (value, unit) = if ns >= 1_000_000_000 {
+        (ns as f64 / 1e9, "s")
+    } else if ns >= 1_000_000 {
+        (ns as f64 / 1e6, "ms")
+    } else if ns >= 1_000 {
+        (ns as f64 / 1e3, "µs")
+    } else {
+        (ns as f64, "ns")
+    };
+    eprintln!("bench {group}/{id}  median {value:.2} {unit}/iter ({TIMED_ITERS} iters)");
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+
+    /// Top-level single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("top").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into one runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut runs = 0u32;
+        g.sample_size(10).bench_function("f", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs as usize, 1 + TIMED_ITERS);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for the subset of the `crossbeam` 0.8 API this
+//! workspace uses — [`thread::scope`] with spawn/join — backed by
+//! `std::thread::scope` (stable since Rust 1.63). The build environment
+//! has no access to crates.io, so the workspace vendors this shim.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Join/scope result: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to the closure; spawn borrows from `'env`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread; `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to `'env` borrows. The closure receives
+        /// the scope handle (crossbeam's signature) so it can spawn
+        /// nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined
+    /// before this returns. `Err` if `f` (or an unjoined child, via the
+    /// std scope) panicked — crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(move || {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn spawn_join_collects_results() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|sc| {
+            let handles: Vec<_> =
+                (0..4).map(|i| sc.spawn(move |_| data[i] * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn borrows_from_environment() {
+        let mut out = vec![0usize; 8];
+        let chunks: Vec<&mut [usize]> = out.chunks_mut(2).collect();
+        thread::scope(|sc| {
+            let hs: Vec<_> = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(w, chunk)| {
+                    sc.spawn(move |_| {
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            *slot = w * 2 + k;
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn child_panic_surfaces_through_join() {
+        let res = thread::scope(|sc| {
+            let h = sc.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(res);
+    }
+}

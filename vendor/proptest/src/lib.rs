@@ -1,0 +1,476 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace's property tests use. The build environment has no access
+//! to crates.io, so the workspace vendors this shim.
+//!
+//! Semantics: each `proptest!` test runs `ProptestConfig::cases`
+//! deterministic random cases (seeded from the test name, so failures
+//! reproduce exactly); `prop_assert*` failures report the case number
+//! and the sampled inputs. No shrinking — the failing inputs are
+//! printed as-is, which is enough to pin a regression test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default. Keeps the vendored shim's coverage
+        // comparable to what the suites were written against.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        if self.start >= self.end {
+            // Degenerate ranges like `89.0..89.0` appear in the suites
+            // as "pin this value"; honour that reading instead of
+            // panicking.
+            self.start
+        } else {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// A `&str` pattern as a strategy. Upstream interprets the string as a
+/// regex over generated values; the shim reads any pattern as "an
+/// arbitrary printable string" — every use in this workspace
+/// (`"\\PC*"`) means exactly that (parser fuzzing).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let len = rng.gen_range(0..80usize);
+        (0..len)
+            .map(|_| match rng.gen_range(0..8u32) {
+                // Bias toward the delimiters the parsers care about.
+                0 => '\t',
+                1 => '\n',
+                2 => char::from(rng.gen_range(0x20..0x7fu8)),
+                _ => {
+                    let c = rng.gen_range(0x20..0x2_FFFFu32);
+                    char::from_u32(c).unwrap_or('\u{FFFD}')
+                }
+            })
+            .collect()
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Occasionally emit the edge values upstream `any::<f64>()`
+        // would find; otherwise a wide finite range.
+        match rng.gen_range(0..16u32) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            _ => (rng.gen::<f64>() - 0.5) * 2e9,
+        }
+    }
+}
+
+/// Whole-domain strategy for `T` (`any::<u8>()`, `any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.lo >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// A collection size specification: fixed or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+
+    /// Uniformly select one element of a non-empty `Vec`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty options");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.options.choose(rng).expect("non-empty").clone()
+        }
+    }
+}
+
+/// Deterministic per-test seed derived from the test path.
+pub fn seed_for(test_path: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Driver behind the [`proptest!`] macro: runs `cases` accepted cases,
+/// skipping `prop_assume!` rejections (with a 10× attempt cap).
+pub fn run_cases(
+    test_path: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let seed = seed_for(test_path);
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(10).max(100);
+    while accepted < config.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "{test_path}: gave up after {attempts} attempts \
+                 ({accepted}/{} accepted); prop_assume! rejects too much",
+                config.cases
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ (attempts as u64).wrapping_mul(0x9E37_79B9));
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_path}: case {attempts} failed\n{msg}")
+            }
+        }
+    }
+}
+
+/// The prelude the suites import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+
+    /// Namespace alias mirroring upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Property-test entry point; mirrors upstream's macro for the shapes
+/// the suites use (`#![proptest_config(...)]` plus `#[test] fn
+/// name(binding in strategy, ...)` items).
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                    let __inputs = [$(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+]
+                        .join("\n");
+                    let __run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    __run().map_err(|e| match e {
+                        $crate::TestCaseError::Fail(msg) => $crate::TestCaseError::Fail(
+                            format!("{msg}\ninputs:\n{__inputs}"),
+                        ),
+                        reject => reject,
+                    })
+                },
+            );
+        }
+    )*};
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest driver.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest driver.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Skip cases whose inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assume failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(format!($($fmt)+)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn ranges_respect_bounds(x in 1.0..5.0f64, n in 3usize..9) {
+            prop_assert!((1.0..5.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        fn vec_strategy_sizes(xs in prop::collection::vec(0.0..1.0f64, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        fn assume_skips(n in 0u64..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+
+        fn select_and_option(o in prop::option::of(0.1..0.9f64),
+                             pick in prop::sample::select(vec![1usize, 5, 10])) {
+            if let Some(v) = o {
+                prop_assert!((0.1..0.9).contains(&v));
+            }
+            prop_assert!([1usize, 5, 10].contains(&pick));
+        }
+
+        fn degenerate_range_pins(x in 89.0..89.0f64) {
+            prop_assert_eq!(x, 89.0);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_message() {
+        let err = std::panic::catch_unwind(|| {
+            crate::run_cases("shim::t", &ProptestConfig::with_cases(4), |rng| {
+                let v = Strategy::sample(&(0u64..4), rng);
+                Err(TestCaseError::Fail(format!("v was {v}")))
+            })
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("v was") && msg.contains("shim::t"), "got: {msg}");
+    }
+
+    #[test]
+    fn over_rejection_gives_up() {
+        let err = std::panic::catch_unwind(|| {
+            crate::run_cases("shim::r", &ProptestConfig::with_cases(8), |_| {
+                Err(TestCaseError::Reject("never".into()))
+            })
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("rejects too much"), "got: {msg}");
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the exact surface it needs: [`rngs::StdRng`] (xoshiro256++
+//! seeded via SplitMix64 — high-quality and deterministic, but **not**
+//! sequence-compatible with upstream `rand`), the [`Rng`] /
+//! [`RngCore`] / [`SeedableRng`] traits, uniform `gen_range` over
+//! integer and float ranges, and [`seq::SliceRandom`] (`shuffle` /
+//! `choose`).
+//!
+//! Everything downstream treats the generator as an opaque deterministic
+//! stream — same seed, same sequence — which this crate guarantees; the
+//! committed `results/` artefacts are generated with this generator.
+
+use std::ops::{Range, RangeInclusive};
+
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(SPLITMIX_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The core of a random number generator: a source of random `u64`s.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanded via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut s = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut s).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing generator methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (`f64`/`f32`: uniform in `[0, 1)`; integers: uniform over the
+    /// full domain; `bool`: fair coin).
+    fn gen<T>(&mut self) -> T
+    where
+        T: SampleStandard,
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a (half-open or inclusive) range. Panics
+    /// on an empty range, like upstream `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait SampleStandard {
+    /// Draw one value from the standard distribution for this type.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53-bit uniform in [0, 1), the same construction rand uses.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with uniform sampling over a bounded range. Mirrors
+/// `rand::distributions::uniform::SampleUniform` closely enough that
+/// float-literal ranges still infer `f64` by default.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // Widening multiply: maps a 64-bit draw onto [0, span) with bias
+    // below 2^-64 — negligible for every span this workspace uses.
+    (rng.next_u64() as u128 * span) >> 64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                lo + (hi - lo) * <$t>::sample_standard(rng)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                lo + (hi - lo) * <$t>::sample_standard(rng)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Named generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman &
+    /// Vigna), seeded through SplitMix64. Deterministic and portable;
+    /// not sequence-compatible with upstream `rand`'s ChaCha12-based
+    /// `StdRng` (nothing in this workspace depends on that sequence).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            // Remix each word so low-entropy seeds still give full
+            // state diffusion, and dodge the all-zero fixed point.
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                let raw = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+                let mut m = raw ^ (i as u64).wrapping_mul(super::SPLITMIX_GAMMA);
+                *w = splitmix64(&mut m);
+            }
+            if s == [0; 4] {
+                s = [1, 2, 3, 4];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Slice sampling helpers.
+pub mod seq {
+    use super::{uniform_below, RngCore};
+
+    /// `shuffle` / `choose` over slices, mirroring `rand::seq`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniform random element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_below(rng, self.len() as u128) as usize])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, i as u128 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a: u64 = StdRng::seed_from_u64(1).gen();
+        let b: u64 = StdRng::seed_from_u64(2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unit_uniform_in_range_and_roughly_centred() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all buckets reachable");
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..=5i64);
+            assert!((3..=5).contains(&v));
+        }
+        let neg = rng.gen_range(-4..-1i32);
+        assert!((-4..-1).contains(&neg));
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-0.12..0.12);
+            assert!((-0.12..0.12).contains(&v));
+            let w = rng.gen_range(0.2..=0.6);
+            assert!((0.2..=0.6).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        StdRng::seed_from_u64(1).gen_range(5..5usize);
+    }
+
+    #[test]
+    fn shuffle_and_choose_are_seed_deterministic() {
+        let base: Vec<u32> = (0..50).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.shuffle(&mut StdRng::seed_from_u64(3));
+        b.shuffle(&mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, base, "shuffle is a permutation");
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(base.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw(rng: &mut impl Rng) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
+    }
+}
