@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p edgescope-bench --bin study-parallel-baseline -- \
-//!     [--out FILE] [--jobs N] [--iters N] [--check MIN_SPEEDUP]
+//!     [--out FILE] [--scale TIER] [--jobs N] [--iters N] [--check MIN_SPEEDUP]
 //! ```
 //!
 //! Unlike the criterion group in `benches/study_parallel.rs` (which keeps
@@ -13,14 +13,17 @@
 //! criterion — that is a dev-dependency, unavailable to binaries.
 //!
 //! `--check MIN_SPEEDUP` exits non-zero if the latency-study speedup at
-//! `--jobs` workers falls below the threshold; CI runs it with `1.5`.
+//! `--jobs` workers falls below the threshold. `--scale` picks the tier
+//! the studies build at (default `quick`); the CI gate runs at
+//! `default`, where each worker has enough per-user work for the
+//! fan-out to win — see "Bench thresholds" in EXPERIMENTS.md.
 
 use std::time::Instant;
 
-use edgescope_bench::{bench_scenario, BENCH_SEED};
+use edgescope_bench::{bench_scenario_at, BENCH_SEED};
 use edgescope_core::experiments::latency_study::LatencyStudy;
 use edgescope_core::experiments::workload_study::WorkloadStudy;
-use edgescope_core::Scenario;
+use edgescope_core::{Scale, Scenario};
 
 /// Median wall-clock milliseconds of `iters` runs of `f`.
 fn median_ms<F: FnMut()>(iters: usize, mut f: F) -> f64 {
@@ -80,16 +83,18 @@ fn measure(scenario: &Scenario, jobs: usize, iters: usize) -> Vec<StudyRow> {
     ]
 }
 
-fn render(rows: &[StudyRow], jobs: usize, iters: usize) -> String {
+fn render(rows: &[StudyRow], scale: Scale, jobs: usize, iters: usize) -> String {
     let studies: Vec<String> = rows.iter().map(StudyRow::json).collect();
     format!(
-        "{{\n  \"schema\": \"edgescope-bench-study-parallel/1\",\n  \"status\": \"measured\",\n  \"scale\": \"quick\",\n  \"seed\": {BENCH_SEED},\n  \"workers\": {jobs},\n  \"iterations\": {iters},\n  \"studies\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"edgescope-bench-study-parallel/1\",\n  \"status\": \"measured\",\n  \"scale\": \"{}\",\n  \"seed\": {BENCH_SEED},\n  \"workers\": {jobs},\n  \"iterations\": {iters},\n  \"studies\": {{\n{}\n  }}\n}}\n",
+        scale.name(),
         studies.join(",\n")
     )
 }
 
 fn main() {
     let mut out: Option<String> = None;
+    let mut scale = Scale::Quick;
     let mut jobs = 4usize;
     let mut iters = 5usize;
     let mut check: Option<f64> = None;
@@ -104,6 +109,16 @@ fn main() {
         };
         match a.as_str() {
             "--out" => out = Some(value("--out")),
+            "--scale" => {
+                let v = value("--scale");
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "--scale: unknown tier {v:?}; valid tiers: {}",
+                        Scale::NAMES.join(", ")
+                    );
+                    std::process::exit(2);
+                })
+            }
             "--jobs" => {
                 jobs = value("--jobs").parse().ok().filter(|&j: &usize| j > 0).unwrap_or_else(
                     || {
@@ -129,14 +144,14 @@ fn main() {
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: study-parallel-baseline [--out FILE] [--jobs N] [--iters N] [--check MIN_SPEEDUP]"
+                    "usage: study-parallel-baseline [--out FILE] [--scale TIER] [--jobs N] [--iters N] [--check MIN_SPEEDUP]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let scenario = bench_scenario();
+    let scenario = bench_scenario_at(scale);
     // One warm-up build so first-touch costs (page faults, lazy statics)
     // don't land in the serial column.
     LatencyStudy::run_jobs(&scenario, 1);
@@ -153,7 +168,7 @@ fn main() {
         );
     }
 
-    let doc = render(&rows, jobs, iters);
+    let doc = render(&rows, scale, jobs, iters);
     match &out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &doc) {

@@ -21,11 +21,16 @@
 //! Benchmarks run at reduced scale; the absolute regeneration numbers for
 //! EXPERIMENTS.md come from the `reproduce` binary at `EDGESCOPE_SCALE=paper`.
 //!
-//! The `study-parallel-baseline` and `predict-baseline` binaries (no
-//! criterion harness) distil the `study_parallel` and `predict_parallel`
-//! comparisons into the committed `BENCH_study_parallel.json` and
-//! `BENCH_predict.json` at the repo root — the perf trajectory ROADMAP.md
-//! asks for.
+//! The baseline binaries (no criterion harness) distil the comparisons
+//! into committed JSON documents at the repo root — the perf trajectory
+//! ROADMAP.md asks for:
+//!
+//! | binary | document | measures |
+//! |---|---|---|
+//! | `study-parallel-baseline` | `BENCH_study_parallel.json` | shared study builds, serial vs. fan-out (`--scale` selects the tier) |
+//! | `predict-baseline` | `BENCH_predict.json` | per-VM forecaster trainings, serial vs. fan-out |
+//! | `campaign-baseline` | `BENCH_campaign.json` | the whole `reproduce --scale quick` campaign at 1 vs. N workers |
+//! | `scale-bench` | `BENCH_scale.json` | wall-clock + peak RSS per scale tier, fresh child process each |
 
 /// The fixed seed all benches use, so criterion compares like with like.
 pub const BENCH_SEED: u64 = 0xbe7c;
@@ -33,4 +38,11 @@ pub const BENCH_SEED: u64 = 0xbe7c;
 /// A quick-scale scenario shared by the benches.
 pub fn bench_scenario() -> edgescope_core::Scenario {
     edgescope_core::Scenario::new(edgescope_core::Scale::Quick, BENCH_SEED)
+}
+
+/// A bench scenario at an explicit scale tier (the baseline binaries
+/// take `--scale`; speedup gates run at `default`, where the per-entity
+/// fan-out has enough work per worker to amortize thread setup).
+pub fn bench_scenario_at(scale: edgescope_core::Scale) -> edgescope_core::Scenario {
+    edgescope_core::Scenario::new(scale, BENCH_SEED)
 }

@@ -26,6 +26,10 @@
 //! streaming experiments (`metro_latency`, `metro_intersite`,
 //! `metro_workload`) — the batch studies would not fit the tier's
 //! memory budget.
+//! The `dyn_*` names select the dynamic scenarios (time-stepped
+//! campaigns through scheduled outages, flash crowds, drains and
+//! mobility waves, run by `core::engine`); their catalogue is
+//! `SCENARIOS.md` at the repo root.
 //! `--log` (or `EDGESCOPE_LOG`) selects span logging on stderr:
 //! `off` (default, stderr carries only the binary's status lines),
 //! `pretty` (one human-readable line per event), or `json` (every

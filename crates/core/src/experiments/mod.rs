@@ -30,6 +30,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod dyn_scenarios;
 pub mod ext_billing;
 pub mod ext_elastic;
 pub mod ext_fragmentation;
@@ -162,9 +163,11 @@ impl ExperimentSpec {
 }
 
 /// Every experiment in paper order — 19 paper artefacts, 2 appendix
-/// tables, 8 extensions, 3 metro-scale streaming analogues. Names match
-/// report ids, so `reproduce --only fig2a,table3` selects by the ids
-/// printed in reports and EXPERIMENTS.md.
+/// tables, 8 extensions, 4 dynamic scenarios, 3 metro-scale streaming
+/// analogues. Names match report ids, so `reproduce --only
+/// fig2a,table3` selects by the ids printed in reports and
+/// EXPERIMENTS.md; the `dyn_*` scenarios are additionally catalogued in
+/// SCENARIOS.md.
 pub fn registry() -> Vec<ExperimentSpec> {
     vec![
         ExperimentSpec::new("table1", NONE, |_, _| table1::run()),
@@ -198,6 +201,12 @@ pub fn registry() -> Vec<ExperimentSpec> {
         ExperimentSpec::new("ext_fragmentation", NONE, |sc, _| ext_fragmentation::run(sc)),
         ExperimentSpec::new("ext_billing", WL, |sc, st| ext_billing::run(sc, st.workload())),
         ExperimentSpec::new("ext_framesim", NONE, |sc, _| ext_framesim::run(sc)),
+        ExperimentSpec::new("dyn_outage_qoe", NONE, |sc, _| dyn_scenarios::run_outage(sc)),
+        ExperimentSpec::new("dyn_flashcrowd_admission", NONE, |sc, _| {
+            dyn_scenarios::run_flashcrowd(sc)
+        }),
+        ExperimentSpec::new("dyn_drain_migration", NONE, |sc, _| dyn_scenarios::run_drain(sc)),
+        ExperimentSpec::new("dyn_mobility_rtt", NONE, |sc, _| dyn_scenarios::run_mobility(sc)),
         ExperimentSpec::new("metro_latency", STREAM, |_, st| metro::run_latency(st.streaming())),
         ExperimentSpec::new("metro_intersite", STREAM, |_, st| {
             metro::run_intersite(st.streaming())
@@ -269,6 +278,8 @@ mod tests {
             "table1", "fig2a", "fig2b", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
             "table6", "fig8", "fig9", "sales", "fig10", "fig11", "fig12", "fig13", "fig14",
             "table3", "table4", "table5", "ext_gslb", "ext_migration", "ext_elastic", "ext_predictive", "ext_predictors", "ext_fragmentation", "ext_billing", "ext_framesim",
+            "dyn_outage_qoe", "dyn_flashcrowd_admission", "dyn_drain_migration",
+            "dyn_mobility_rtt",
             "metro_latency", "metro_intersite", "metro_workload",
         ] {
             assert!(ids.contains(&want), "missing {want}; got {ids:?}");

@@ -10,6 +10,11 @@
 //!   but faster reduction), and `quick` (CI-sized);
 //! * [`report`] — experiment outputs: aligned text tables plus CSV series
 //!   for re-plotting;
+//! * [`engine`] — the time-stepped "living platform": advances the whole
+//!   world through simulated days under a scheduled
+//!   [`net::fault::EventTimeline`] (outages, partitions, flash crowds,
+//!   drains, mobility), powering the `dyn_*` dynamic-scenario
+//!   experiments (see `SCENARIOS.md` at the workspace root);
 //! * [`executor`] — the parallel campaign driver: fans the experiment
 //!   [`experiments::registry`] out over worker threads (`--jobs` /
 //!   `EDGESCOPE_JOBS`), records per-experiment wall-clock timings and
@@ -28,6 +33,7 @@
 //! `metrics.json` — see `EXPERIMENTS.md` at the workspace root for
 //! paper-vs-measured values and `ARCHITECTURE.md` for the crate map.
 
+pub mod engine;
 pub mod executor;
 pub mod experiments;
 pub mod report;

@@ -33,9 +33,11 @@
 //!
 //! * every experiment (and every shared study) owns a distinct tag,
 //!   hard-coded at its call site — e.g. the latency campaign uses
-//!   `0x1a7e` and the prediction study uses `0x9ed1`
-//!   (`crate::experiments::prediction_study::TAG`); never reuse a tag
-//!   across experiments;
+//!   `0x1a7e`, the prediction study uses `0x9ed1`
+//!   (`crate::experiments::prediction_study::TAG`), and the four
+//!   dynamic scenarios own `0xd1a0`–`0xd1a3`
+//!   (`crate::experiments::dyn_scenarios`); never reuse a tag across
+//!   experiments;
 //! * scenario *construction* consumes the raw seed directly (site
 //!   placement, crowd recruitment) and happens before any experiment;
 //! * an experiment needing several independent streams should derive
@@ -95,6 +97,17 @@ impl Scale {
     /// the `reproduce` binary lists these when rejecting an unknown
     /// `EDGESCOPE_SCALE`.
     pub const NAMES: [&'static str; 4] = ["quick", "default", "paper", "metro"];
+
+    /// The canonical tier name ([`Scale::parse`]'s inverse) — bench
+    /// documents record it so a reading names the scale it measured.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Default => "default",
+            Scale::Quick => "quick",
+            Scale::Metro => "metro",
+        }
+    }
 }
 
 /// Scale-dependent sizing knobs.

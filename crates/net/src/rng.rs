@@ -47,6 +47,20 @@ pub mod domains {
     /// Prediction-evaluation VM series (one LSTM seed stream per series
     /// index in the evaluated cohort).
     pub const PREDICT_SERIES: u32 = 6;
+    /// Dynamic-scenario scheduled events (one stream per event index in
+    /// the [`crate::fault::EventTimeline`], for per-event draws such as
+    /// mobility re-homing delays).
+    pub const EVENT: u32 = 7;
+    /// Campaign-engine world construction (index 0 = demand model,
+    /// index 1 = probe-panel recruiting).
+    pub const ENGINE_WORLD: u32 = 8;
+    /// Campaign-engine per-step demand/scheduling noise (one stream per
+    /// simulated step index).
+    pub const ENGINE_STEP: u32 = 9;
+    /// Campaign-engine per-step probe sampling (one stream per step
+    /// index; separate from [`ENGINE_STEP`] so adding probes never
+    /// shifts demand draws).
+    pub const ENGINE_PROBE: u32 = 10;
 }
 
 /// SplitMix64 finalizer: a bijective avalanche over `u64`.

@@ -121,6 +121,58 @@ impl CandidateTable {
             }
         }
     }
+
+    /// Like [`CandidateTable::pick`], but skipping sites for which
+    /// `available` returns `false` (drained or blackholed by an active
+    /// event). Returns `None` when *no* candidate for the city is
+    /// available — the caller treats the request as rejected (admission
+    /// control under regional failure) instead of panicking.
+    ///
+    /// Unavailable candidates are filtered *before* the policy applies,
+    /// so e.g. `NearestSite` falls over to the nearest *available* site
+    /// — exactly the DNS failover behaviour a real GSLB exhibits.
+    pub fn pick_available(
+        &self,
+        policy: SchedulingPolicy,
+        city_idx: usize,
+        loads: &[f64],
+        rr_state: &mut [usize],
+        available: impl Fn(usize) -> bool,
+    ) -> Option<(usize, f64)> {
+        let cands: Vec<(usize, f64, f64)> = self.per_city[city_idx]
+            .iter()
+            .filter(|c| available(c.0))
+            .copied()
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        Some(match policy {
+            SchedulingPolicy::NearestSite => (cands[0].0, cands[0].2),
+            SchedulingPolicy::RoundRobinNearest(k) => {
+                let k = k.clamp(1, cands.len());
+                let c = cands[rr_state[city_idx] % k];
+                rr_state[city_idx] = rr_state[city_idx].wrapping_add(1);
+                (c.0, c.2)
+            }
+            SchedulingPolicy::LoadAware(k) => {
+                let k = k.clamp(1, cands.len());
+                let best = cands[..k]
+                    .iter()
+                    .min_by(|a, b| loads[a.0].partial_cmp(&loads[b.0]).unwrap())
+                    .unwrap();
+                (best.0, best.2)
+            }
+            SchedulingPolicy::DelayConstrained { budget_ms } => {
+                let best = cands
+                    .iter()
+                    .filter(|c| c.2 <= budget_ms)
+                    .min_by(|a, b| loads[a.0].partial_cmp(&loads[b.0]).unwrap())
+                    .unwrap_or(&cands[0]);
+                (best.0, best.2)
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +270,52 @@ mod tests {
         let (site, _) =
             t.pick(SchedulingPolicy::DelayConstrained { budget_ms: 0.0 }, 2, &loads, &mut rr);
         assert_eq!(site, t.per_city[2][0].0);
+    }
+
+    #[test]
+    fn pick_available_fails_over_to_nearest_available() {
+        let (dep, t) = table();
+        let loads = vec![0.0; dep.n_sites()];
+        let mut rr = vec![0usize; t.per_city.len()];
+        let nearest = t.per_city[0][0].0;
+        let (site, extra) = t
+            .pick_available(SchedulingPolicy::NearestSite, 0, &loads, &mut rr, |s| s != nearest)
+            .expect("other candidates remain");
+        assert_ne!(site, nearest);
+        assert_eq!(site, t.per_city[0][1].0, "fails over to second-nearest");
+        assert!(extra >= 0.0);
+    }
+
+    #[test]
+    fn pick_available_rejects_when_all_candidates_down() {
+        let (dep, t) = table();
+        let loads = vec![0.0; dep.n_sites()];
+        let mut rr = vec![0usize; t.per_city.len()];
+        for policy in [
+            SchedulingPolicy::NearestSite,
+            SchedulingPolicy::RoundRobinNearest(3),
+            SchedulingPolicy::LoadAware(4),
+            SchedulingPolicy::DelayConstrained { budget_ms: 2.0 },
+        ] {
+            assert_eq!(t.pick_available(policy, 0, &loads, &mut rr, |_| false), None);
+        }
+    }
+
+    #[test]
+    fn pick_available_matches_pick_when_everything_is_up() {
+        let (dep, t) = table();
+        let mut loads = vec![0.0; dep.n_sites()];
+        loads[t.per_city[0][0].0] = 1e9;
+        for policy in [
+            SchedulingPolicy::NearestSite,
+            SchedulingPolicy::LoadAware(4),
+            SchedulingPolicy::DelayConstrained { budget_ms: 2.0 },
+        ] {
+            let mut rr_a = vec![0usize; t.per_city.len()];
+            let mut rr_b = vec![0usize; t.per_city.len()];
+            let a = t.pick(policy, 0, &loads, &mut rr_a);
+            let b = t.pick_available(policy, 0, &loads, &mut rr_b, |_| true).unwrap();
+            assert_eq!(a, b, "policy {policy:?}");
+        }
     }
 }

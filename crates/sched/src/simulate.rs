@@ -53,8 +53,10 @@ impl Default for SimConfig {
 }
 
 /// Queueing inflation factor at utilization `rho` (capped M/M/1 shape:
-/// 1/(1-rho) up to 5x at/over capacity).
-fn queue_factor(rho: f64) -> f64 {
+/// 1/(1-rho) up to 5x at/over capacity). Public because the campaign
+/// engine (`core::engine`) reuses the same capped shape — the cap is
+/// what keeps delays finite under regional failures.
+pub fn queue_factor(rho: f64) -> f64 {
     if rho >= 0.8 {
         // Beyond the knee the model caps — overload shows up in the
         // overload_fraction metric instead of infinite delays.

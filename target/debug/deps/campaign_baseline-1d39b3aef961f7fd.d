@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_baseline-1d39b3aef961f7fd.d: crates/bench/src/bin/campaign-baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_baseline-1d39b3aef961f7fd.rmeta: crates/bench/src/bin/campaign-baseline.rs Cargo.toml
+
+crates/bench/src/bin/campaign-baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_baseline-7c94247e7861f2d8.d: crates/bench/src/bin/campaign-baseline.rs
+
+/root/repo/target/debug/deps/campaign_baseline-7c94247e7861f2d8: crates/bench/src/bin/campaign-baseline.rs
+
+crates/bench/src/bin/campaign-baseline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_baseline-e775440f86866da0.d: crates/bench/src/bin/campaign-baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_baseline-e775440f86866da0.rmeta: crates/bench/src/bin/campaign-baseline.rs Cargo.toml
+
+crates/bench/src/bin/campaign-baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamics-5559ffe95bcc3260.d: tests/dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamics-5559ffe95bcc3260.rmeta: tests/dynamics.rs Cargo.toml
+
+tests/dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

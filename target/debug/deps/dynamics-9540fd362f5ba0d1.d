@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamics-9540fd362f5ba0d1.d: tests/dynamics.rs
+
+/root/repo/target/debug/deps/dynamics-9540fd362f5ba0d1: tests/dynamics.rs
+
+tests/dynamics.rs:

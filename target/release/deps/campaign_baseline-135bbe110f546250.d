@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_baseline-135bbe110f546250.d: crates/bench/src/bin/campaign-baseline.rs
+
+/root/repo/target/release/deps/campaign_baseline-135bbe110f546250: crates/bench/src/bin/campaign-baseline.rs
+
+crates/bench/src/bin/campaign-baseline.rs:

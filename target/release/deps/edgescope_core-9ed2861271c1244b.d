@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/edgescope_core-9ed2861271c1244b.d: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig14.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/ext_billing.rs crates/core/src/experiments/ext_elastic.rs crates/core/src/experiments/ext_fragmentation.rs crates/core/src/experiments/ext_framesim.rs crates/core/src/experiments/ext_gslb.rs crates/core/src/experiments/ext_migration.rs crates/core/src/experiments/ext_predictive.rs crates/core/src/experiments/ext_predictors.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/latency_study.rs crates/core/src/experiments/metro.rs crates/core/src/experiments/prediction_study.rs crates/core/src/experiments/sales_rate.rs crates/core/src/experiments/streaming_study.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/table5.rs crates/core/src/experiments/table6.rs crates/core/src/experiments/workload_study.rs crates/core/src/report.rs crates/core/src/scenario.rs
+/root/repo/target/release/deps/edgescope_core-9ed2861271c1244b.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/executor.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig14.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/dyn_scenarios.rs crates/core/src/experiments/ext_billing.rs crates/core/src/experiments/ext_elastic.rs crates/core/src/experiments/ext_fragmentation.rs crates/core/src/experiments/ext_framesim.rs crates/core/src/experiments/ext_gslb.rs crates/core/src/experiments/ext_migration.rs crates/core/src/experiments/ext_predictive.rs crates/core/src/experiments/ext_predictors.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/latency_study.rs crates/core/src/experiments/metro.rs crates/core/src/experiments/prediction_study.rs crates/core/src/experiments/sales_rate.rs crates/core/src/experiments/streaming_study.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/table5.rs crates/core/src/experiments/table6.rs crates/core/src/experiments/workload_study.rs crates/core/src/report.rs crates/core/src/scenario.rs
 
-/root/repo/target/release/deps/libedgescope_core-9ed2861271c1244b.rlib: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig14.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/ext_billing.rs crates/core/src/experiments/ext_elastic.rs crates/core/src/experiments/ext_fragmentation.rs crates/core/src/experiments/ext_framesim.rs crates/core/src/experiments/ext_gslb.rs crates/core/src/experiments/ext_migration.rs crates/core/src/experiments/ext_predictive.rs crates/core/src/experiments/ext_predictors.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/latency_study.rs crates/core/src/experiments/metro.rs crates/core/src/experiments/prediction_study.rs crates/core/src/experiments/sales_rate.rs crates/core/src/experiments/streaming_study.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/table5.rs crates/core/src/experiments/table6.rs crates/core/src/experiments/workload_study.rs crates/core/src/report.rs crates/core/src/scenario.rs
+/root/repo/target/release/deps/libedgescope_core-9ed2861271c1244b.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/executor.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig14.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/dyn_scenarios.rs crates/core/src/experiments/ext_billing.rs crates/core/src/experiments/ext_elastic.rs crates/core/src/experiments/ext_fragmentation.rs crates/core/src/experiments/ext_framesim.rs crates/core/src/experiments/ext_gslb.rs crates/core/src/experiments/ext_migration.rs crates/core/src/experiments/ext_predictive.rs crates/core/src/experiments/ext_predictors.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/latency_study.rs crates/core/src/experiments/metro.rs crates/core/src/experiments/prediction_study.rs crates/core/src/experiments/sales_rate.rs crates/core/src/experiments/streaming_study.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/table5.rs crates/core/src/experiments/table6.rs crates/core/src/experiments/workload_study.rs crates/core/src/report.rs crates/core/src/scenario.rs
 
-/root/repo/target/release/deps/libedgescope_core-9ed2861271c1244b.rmeta: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig14.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/ext_billing.rs crates/core/src/experiments/ext_elastic.rs crates/core/src/experiments/ext_fragmentation.rs crates/core/src/experiments/ext_framesim.rs crates/core/src/experiments/ext_gslb.rs crates/core/src/experiments/ext_migration.rs crates/core/src/experiments/ext_predictive.rs crates/core/src/experiments/ext_predictors.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/latency_study.rs crates/core/src/experiments/metro.rs crates/core/src/experiments/prediction_study.rs crates/core/src/experiments/sales_rate.rs crates/core/src/experiments/streaming_study.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/table5.rs crates/core/src/experiments/table6.rs crates/core/src/experiments/workload_study.rs crates/core/src/report.rs crates/core/src/scenario.rs
+/root/repo/target/release/deps/libedgescope_core-9ed2861271c1244b.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/executor.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig14.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/dyn_scenarios.rs crates/core/src/experiments/ext_billing.rs crates/core/src/experiments/ext_elastic.rs crates/core/src/experiments/ext_fragmentation.rs crates/core/src/experiments/ext_framesim.rs crates/core/src/experiments/ext_gslb.rs crates/core/src/experiments/ext_migration.rs crates/core/src/experiments/ext_predictive.rs crates/core/src/experiments/ext_predictors.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/latency_study.rs crates/core/src/experiments/metro.rs crates/core/src/experiments/prediction_study.rs crates/core/src/experiments/sales_rate.rs crates/core/src/experiments/streaming_study.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/table5.rs crates/core/src/experiments/table6.rs crates/core/src/experiments/workload_study.rs crates/core/src/report.rs crates/core/src/scenario.rs
 
 crates/core/src/lib.rs:
+crates/core/src/engine.rs:
 crates/core/src/executor.rs:
 crates/core/src/experiments/mod.rs:
 crates/core/src/experiments/fig10.rs:
@@ -19,6 +20,7 @@ crates/core/src/experiments/fig5.rs:
 crates/core/src/experiments/fig6.rs:
 crates/core/src/experiments/fig7.rs:
 crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/dyn_scenarios.rs:
 crates/core/src/experiments/ext_billing.rs:
 crates/core/src/experiments/ext_elastic.rs:
 crates/core/src/experiments/ext_fragmentation.rs:

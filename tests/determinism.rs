@@ -324,6 +324,48 @@ fn logging_does_not_perturb_outputs() {
 }
 
 #[test]
+fn dynamic_scenarios_are_worker_count_invariant() {
+    // The `dyn_*` experiments run the campaign engine — demand draws,
+    // scheduling, panel probes and event randomness all derive from
+    // `(seed, tag, entity)` streams, so `--jobs 1` and `--jobs 4` must
+    // produce byte-identical artefacts (the full-registry test above
+    // covers them too; this narrows the gate to the engine outputs so
+    // a regression names the culprit directly).
+    let scenario = Scenario::new(Scale::Quick, 42);
+    let dyn_only = || {
+        edgescope::experiments::select_experiments(
+            registry(),
+            "dyn_outage_qoe,dyn_flashcrowd_admission,dyn_drain_migration,dyn_mobility_rtt",
+        )
+        .expect("dyn_* names are in the registry")
+    };
+    assert_eq!(dyn_only().len(), 4, "all four dynamic scenarios are registered");
+    let serial = Executor::new(1).run(&scenario, dyn_only());
+    let parallel = Executor::new(4).run(&scenario, dyn_only());
+
+    let renders =
+        |e: &edgescope::Execution| e.reports.iter().map(|r| r.render()).collect::<Vec<_>>();
+    assert_eq!(renders(&serial), renders(&parallel), "dyn renders must be byte-identical");
+    let csvs = |e: &edgescope::Execution| {
+        e.reports.iter().flat_map(|r| r.csv.iter().cloned()).collect::<Vec<_>>()
+    };
+    assert_eq!(csvs(&serial), csvs(&parallel), "dyn CSVs must be byte-identical");
+    assert_eq!(
+        serial.metrics.to_json(),
+        parallel.metrics.to_json(),
+        "engine.* metrics must be byte-identical across --jobs"
+    );
+    // The engine counters actually flowed through obs.
+    let totals = serial.metrics.totals();
+    assert!(totals.counter("engine.steps_run") > 0, "engine must run steps");
+    assert!(totals.counter("engine.events_activated") >= 4, "every scenario fires events");
+    // Every scenario ships a time series.
+    for r in &serial.reports {
+        assert!(r.csv.iter().any(|(n, _)| n == "timeline"), "{} ships a timeline", r.id);
+    }
+}
+
+#[test]
 fn same_seed_same_reports() {
     let run = |seed| {
         let scenario = Scenario::new(Scale::Quick, seed);

@@ -28,6 +28,38 @@ fn artefact_map_covers_every_registry_name() {
 }
 
 #[test]
+fn scenario_catalogue_covers_every_dynamic_experiment() {
+    // Every `dyn_*` registry entry must have a catalogue row in
+    // SCENARIOS.md (`| `name` | ... |`) — the same honesty gate as the
+    // artefact map, scoped to the dynamic scenarios: adding a scenario
+    // without cataloguing its events, streams and artefacts fails here.
+    let md = read_doc("SCENARIOS.md");
+    let dyn_specs: Vec<_> =
+        registry().into_iter().filter(|s| s.name.starts_with("dyn_")).collect();
+    assert!(
+        dyn_specs.len() >= 4,
+        "the registry must keep its dynamic scenarios (found {})",
+        dyn_specs.len()
+    );
+    for spec in dyn_specs {
+        let cell = format!("| `{}` |", spec.name);
+        assert!(
+            md.contains(&cell),
+            "SCENARIOS.md catalogue has no row for `{}` — catalogue the new scenario \
+             (event timeline, affected entities, RNG streams, metrics, artefacts)",
+            spec.name
+        );
+    }
+    // The catalogue documents the engine's stream scheme, not just names.
+    for needle in ["ENGINE_WORLD", "ENGINE_STEP", "ENGINE_PROBE", "EVENT"] {
+        assert!(
+            md.contains(needle),
+            "SCENARIOS.md must document the `{needle}` RNG stream domain"
+        );
+    }
+}
+
+#[test]
 fn scale_tiers_are_documented() {
     // Every parseable tier name appears in the scale-tier tables of both
     // EXPERIMENTS.md and README.md.
