@@ -7,6 +7,7 @@ use edgescope_core::experiments::prediction_study::PredictionStudy;
 use edgescope_core::experiments::workload_study::WorkloadStudy;
 use edgescope_core::predict::holt_winters::HoltWinters;
 use edgescope_core::predict::lstm::{Lstm, LstmConfig};
+use edgescope_core::predict::reference::ScalarLstm;
 
 fn bench_fig14(c: &mut Criterion) {
     let scenario = bench_scenario();
@@ -33,11 +34,25 @@ fn bench_models(c: &mut Criterion) {
             hw.forecast_online(test)
         })
     });
+    g.bench_function("holt_winters_grid_fit", |b| {
+        b.iter(|| HoltWinters::fit_grid(train, 48))
+    });
     g.sample_size(10);
     g.bench_function("lstm_train_forecast", |b| {
         b.iter(|| {
             let cfg = LstmConfig { epochs: 1, stride: 4, lookback: 12, ..Default::default() };
             let mut m = Lstm::new(cfg);
+            m.train(train);
+            m.forecast_online(train, test)
+        })
+    });
+    // The scalar reference on the same work: the ratio to
+    // `lstm_train_forecast` is the packed-GEMM kernel speedup that
+    // `predict-baseline --check-kernel` gates on.
+    g.bench_function("lstm_scalar_train_forecast", |b| {
+        b.iter(|| {
+            let cfg = LstmConfig { epochs: 1, stride: 4, lookback: 12, ..Default::default() };
+            let mut m = ScalarLstm::new(cfg);
             m.train(train);
             m.forecast_online(train, test)
         })

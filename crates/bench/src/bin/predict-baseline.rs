@@ -1,27 +1,36 @@
 //! Regenerates `BENCH_predict.json`: wall-clock of the per-VM forecaster
-//! trainings, serial vs. fanned out, plus the speedup ratio.
+//! trainings, serial vs. fanned out, plus the speedup ratio — and, since
+//! the kernel refactor, the packed-GEMM LSTM against the scalar
+//! reference implementation it replaced.
 //!
 //! ```text
 //! cargo run --release -p edgescope-bench --bin predict-baseline -- \
-//!     [--out FILE] [--jobs N] [--iters N] [--check MIN_SPEEDUP]
+//!     [--out FILE] [--scale TIER] [--jobs N] [--iters N] \
+//!     [--check MIN_SPEEDUP] [--check-kernel MIN_SPEEDUP]
 //! ```
 //!
 //! Companion to `study-parallel-baseline`: the same committable-JSON
-//! scheme (schema `edgescope-bench-predict/1`), applied to the
+//! scheme (schema `edgescope-bench-predict/2`), applied to the
 //! `predict::eval` `*_jobs` fan-out the prediction study is built from.
 //! Holt-Winters and the LSTM are timed separately because their
 //! per-series cost profiles differ by an order of magnitude — the LSTM
 //! row is the one that pays for the campaign, so `--check MIN_SPEEDUP`
-//! gates on it; CI runs it with `1.5`.
+//! gates on its fan-out ratio and `--check-kernel MIN_SPEEDUP` gates on
+//! `kernel_speedup` (scalar-reference serial wall-clock over packed
+//! serial wall-clock, identical work). Measured ~1.9x on the reference
+//! container; CI runs `--check-kernel 1.5` to leave noise margin.
 
 use std::time::Instant;
 
-use edgescope_bench::{bench_scenario, BENCH_SEED};
+use edgescope_bench::{bench_scenario_at, BENCH_SEED};
 use edgescope_core::experiments::prediction_study::{cohort, TAG};
 use edgescope_core::experiments::workload_study::WorkloadStudy;
-use edgescope_core::predict::eval::{evaluate_holt_winters_jobs, evaluate_lstm_jobs};
+use edgescope_core::predict::eval::{
+    evaluate_holt_winters_jobs, evaluate_lstm_jobs, evaluate_lstm_reference_jobs,
+};
 use edgescope_core::predict::lstm::LstmConfig;
 use edgescope_core::predict::window::Aggregation;
+use edgescope_core::Scale;
 
 /// Cohort size: wide enough that 4 workers all get series, small enough
 /// that `--iters 5` finishes in seconds at Quick scale.
@@ -62,7 +71,13 @@ impl ModelRow {
     }
 }
 
-fn measure(series: &[Vec<f64>], sphh: usize, cfg: &LstmConfig, jobs: usize, iters: usize) -> Vec<ModelRow> {
+fn measure(
+    series: &[Vec<f64>],
+    sphh: usize,
+    cfg: &LstmConfig,
+    jobs: usize,
+    iters: usize,
+) -> Vec<ModelRow> {
     vec![
         ModelRow {
             name: "holt_winters",
@@ -85,19 +100,32 @@ fn measure(series: &[Vec<f64>], sphh: usize, cfg: &LstmConfig, jobs: usize, iter
     ]
 }
 
-fn render(rows: &[ModelRow], jobs: usize, iters: usize) -> String {
-    let models: Vec<String> = rows.iter().map(ModelRow::json).collect();
+fn render(
+    rows: &[ModelRow],
+    scalar_serial_ms: f64,
+    kernel_speedup: f64,
+    scale: Scale,
+    jobs: usize,
+    iters: usize,
+) -> String {
+    let mut models: Vec<String> = rows.iter().map(ModelRow::json).collect();
+    models.push(format!(
+        "    \"lstm_scalar\": {{ \"serial_ms\": {scalar_serial_ms:.3} }}"
+    ));
     format!(
-        "{{\n  \"schema\": \"edgescope-bench-predict/1\",\n  \"status\": \"measured\",\n  \"scale\": \"quick\",\n  \"seed\": {BENCH_SEED},\n  \"cohort_vms\": {COHORT_VMS},\n  \"workers\": {jobs},\n  \"iterations\": {iters},\n  \"models\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"edgescope-bench-predict/2\",\n  \"status\": \"measured\",\n  \"scale\": \"{}\",\n  \"seed\": {BENCH_SEED},\n  \"cohort_vms\": {COHORT_VMS},\n  \"workers\": {jobs},\n  \"iterations\": {iters},\n  \"models\": {{\n{}\n  }},\n  \"kernel_speedup\": {kernel_speedup:.3}\n}}\n",
+        scale.name(),
         models.join(",\n")
     )
 }
 
 fn main() {
     let mut out: Option<String> = None;
+    let mut scale = Scale::Quick;
     let mut jobs = 4usize;
     let mut iters = 5usize;
     let mut check: Option<f64> = None;
+    let mut check_kernel: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -109,6 +137,13 @@ fn main() {
         };
         match a.as_str() {
             "--out" => out = Some(value("--out")),
+            "--scale" => {
+                let v = value("--scale");
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}");
+                    std::process::exit(2);
+                })
+            }
             "--jobs" => {
                 jobs = value("--jobs").parse().ok().filter(|&j: &usize| j > 0).unwrap_or_else(
                     || {
@@ -131,17 +166,23 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--check-kernel" => {
+                check_kernel = Some(value("--check-kernel").parse().unwrap_or_else(|_| {
+                    eprintln!("--check-kernel needs a number");
+                    std::process::exit(2);
+                }))
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: predict-baseline [--out FILE] [--jobs N] [--iters N] [--check MIN_SPEEDUP]"
+                    "usage: predict-baseline [--out FILE] [--scale TIER] [--jobs N] [--iters N] [--check MIN_SPEEDUP] [--check-kernel MIN_SPEEDUP]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let scenario = bench_scenario();
+    let scenario = bench_scenario_at(scale);
     let wl = WorkloadStudy::run(&scenario);
     let series = cohort(&wl.nep, COHORT_VMS);
     let sphh = wl.nep.config.cpu_samples_per_half_hour();
@@ -157,6 +198,18 @@ fn main() {
     evaluate_lstm_jobs(&series, sphh, Aggregation::Mean, &cfg, 1);
 
     let rows = measure(&series, sphh, &cfg, jobs, iters);
+    // The scalar reference on identical work (serial only — the kernel
+    // comparison is about per-element arithmetic, not fan-out).
+    let scalar_serial_ms = median_ms(iters, || {
+        evaluate_lstm_reference_jobs(&series, sphh, Aggregation::Mean, &cfg, 1);
+    });
+    let lstm_serial_ms = rows
+        .iter()
+        .find(|r| r.name == "lstm")
+        .expect("lstm row")
+        .serial_ms;
+    let kernel_speedup = scalar_serial_ms / lstm_serial_ms.max(1e-9);
+
     for r in &rows {
         println!(
             "{}: serial {:.1} ms, {} workers {:.1} ms, speedup {:.2}x",
@@ -167,8 +220,11 @@ fn main() {
             r.speedup()
         );
     }
+    println!(
+        "lstm_scalar: serial {scalar_serial_ms:.1} ms, kernel speedup {kernel_speedup:.2}x"
+    );
 
-    let doc = render(&rows, jobs, iters);
+    let doc = render(&rows, scalar_serial_ms, kernel_speedup, scale, jobs, iters);
     match &out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &doc) {
@@ -190,5 +246,14 @@ fn main() {
             std::process::exit(1);
         }
         println!("check passed: lstm training speedup >= {min:.2}x");
+    }
+    if let Some(min) = check_kernel {
+        if kernel_speedup < min {
+            eprintln!(
+                "FAIL: lstm kernel speedup {kernel_speedup:.2}x below the {min:.2}x floor"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: lstm kernel speedup >= {min:.2}x");
     }
 }

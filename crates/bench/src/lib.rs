@@ -28,8 +28,8 @@
 //! | binary | document | measures |
 //! |---|---|---|
 //! | `study-parallel-baseline` | `BENCH_study_parallel.json` | shared study builds, serial vs. fan-out (`--scale` selects the tier) |
-//! | `predict-baseline` | `BENCH_predict.json` | per-VM forecaster trainings, serial vs. fan-out |
-//! | `campaign-baseline` | `BENCH_campaign.json` | the whole `reproduce --scale quick` campaign at 1 vs. N workers |
+//! | `predict-baseline` | `BENCH_predict.json` | per-VM forecaster trainings, serial vs. fan-out, plus the packed-GEMM kernel vs. its scalar reference (`--scale` selects the tier) |
+//! | `campaign-baseline` | `BENCH_campaign.json` | the whole `reproduce` campaign at 1 vs. N workers (`--scale` selects the tier; CI regenerates at `default`) |
 //! | `scale-bench` | `BENCH_scale.json` | wall-clock + peak RSS per scale tier, fresh child process each |
 
 /// The fixed seed all benches use, so criterion compares like with like.

@@ -42,7 +42,7 @@ pub fn run(study: &WorkloadStudy) -> ExperimentReport {
     // Machines from the busiest of those sites.
     let busiest = *sites
         .iter()
-        .max_by(|a, b| site_bw[a].partial_cmp(&site_bw[b]).unwrap())
+        .max_by(|a, b| site_bw[a].total_cmp(&site_bw[b]))
         .unwrap();
     let means_cpu = ds.mean_cpu_per_vm();
     let means_bw = ds.mean_bw_per_vm();

@@ -20,6 +20,15 @@ fn drift_score(weekly: &[f64]) -> f64 {
     max / min
 }
 
+/// Rank `(vm, drift)` pairs most-drifting first. Uses the IEEE total
+/// order with NaN demoted below every real score, so a degenerate score
+/// (e.g. a NaN bandwidth sample upstream) lands at the stable end of the
+/// ranking instead of panicking the report mid-campaign.
+fn sort_by_drift_desc(scored: &mut [(usize, f64)]) {
+    let key = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+    scored.sort_by(|a, b| key(b.1).total_cmp(&key(a.1)));
+}
+
 /// Regenerate Fig. 12: pick the two most and two least drifting VMs with
 /// non-trivial traffic, and emit their weekly series.
 pub fn run(study: &WorkloadStudy) -> ExperimentReport {
@@ -30,7 +39,7 @@ pub fn run(study: &WorkloadStudy) -> ExperimentReport {
         .filter(|&i| means[i] > 1.0)
         .map(|i| (i, drift_score(&weekly(ds, i))))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    sort_by_drift_desc(&mut scored);
     assert!(scored.len() >= 4, "too few active VMs ({})", scored.len());
     let picks = [
         scored[0].0,
@@ -85,5 +94,17 @@ mod tests {
             line.split(',').nth(2).unwrap().trim_end_matches('x').parse().unwrap()
         };
         assert!(parse(0) > parse(3), "erratic {} vs stable {}", parse(0), parse(3));
+    }
+
+    /// Regression: the drift ranking used to `partial_cmp().unwrap()` and
+    /// panicked on a NaN score; it must now order NaN deterministically
+    /// below every real score.
+    #[test]
+    fn drift_ranking_tolerates_nan_scores() {
+        let mut scored = vec![(0, 2.0), (1, f64::NAN), (2, 8.0), (3, 0.5), (4, f64::NAN)];
+        sort_by_drift_desc(&mut scored);
+        let order: Vec<usize> = scored.iter().map(|&(i, _)| i).collect();
+        assert_eq!(&order[..3], &[2, 0, 3], "real scores descend first");
+        assert!(scored[3].1.is_nan() && scored[4].1.is_nan(), "NaNs sink to the stable end");
     }
 }

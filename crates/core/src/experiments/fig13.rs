@@ -10,6 +10,15 @@ use edgescope_analysis::timeseries::resample_mean;
 /// a meaningful P95/P5 within the app).
 const MIN_VMS: usize = 8;
 
+/// NaN-safe comparison of gap scores: IEEE total order with NaN demoted
+/// below every real score, so a degenerate per-app gap can never win the
+/// zoom selection — or panic it, as the former `partial_cmp().unwrap()`
+/// did.
+fn cmp_gap(a: f64, b: f64) -> std::cmp::Ordering {
+    let key = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+    key(a).total_cmp(&key(b))
+}
+
 /// Regenerate Fig. 13: (a) the per-app P95/P5 usage-gap CDF for NEP vs
 /// Azure; (b) one edge app's per-VM daily CPU curves.
 pub fn run(study: &WorkloadStudy) -> ExperimentReport {
@@ -49,7 +58,7 @@ pub fn run(study: &WorkloadStudy) -> ExperimentReport {
                 let xs: Vec<f64> = idxs.iter().map(|&i| means[i]).collect();
                 edgescope_analysis::imbalance::gap_p95_p5(&xs, 0.1)
             };
-            gap(a.1).partial_cmp(&gap(b.1)).unwrap()
+            cmp_gap(gap(a.1), gap(b.1))
         });
     if let Some((app, idxs)) = target {
         let per_hour = 60 / ds.config.cpu_interval_min.min(60);
@@ -88,5 +97,18 @@ mod tests {
         assert!(med(&nep) > med(&az), "NEP {:.1} vs Azure {:.1}", med(&nep), med(&az));
         let r = run(&study);
         assert!(r.tables[0].n_rows() >= 1);
+    }
+
+    /// Regression: the zoom selection used to `partial_cmp().unwrap()`
+    /// and panicked on a NaN gap; NaN must now lose to every real score.
+    #[test]
+    fn gap_selection_tolerates_nan_scores() {
+        use std::cmp::Ordering;
+        assert_eq!(cmp_gap(f64::NAN, 3.0), Ordering::Less);
+        assert_eq!(cmp_gap(3.0, f64::NAN), Ordering::Greater);
+        assert_eq!(cmp_gap(f64::NAN, f64::NAN), Ordering::Equal);
+        let scores = [4.0, f64::NAN, 9.0, 1.0];
+        let best = (0..scores.len()).max_by(|&a, &b| cmp_gap(scores[a], scores[b]));
+        assert_eq!(best, Some(2), "NaN never wins the selection");
     }
 }

@@ -21,7 +21,7 @@
 //! 5–30× CV gap between edge and cloud comes from.
 
 use crate::access::AccessNetwork;
-use crate::rng::{exponential, log_normal_mean_cv};
+use crate::rng::{exponential, log_normal_mean_cv, standard_normal_pair, LogNormalParams};
 use rand::Rng;
 
 /// What a hop physically is. Used for reporting and for Table 2 grouping.
@@ -132,6 +132,52 @@ impl Path {
     /// Sample one probe's end-to-end RTT in ms.
     pub fn sample_rtt_ms(&self, rng: &mut impl Rng) -> f64 {
         self.hops.iter().map(|h| h.sample_rtt_ms(rng)).sum()
+    }
+
+    /// Sample `out.len()` probes' end-to-end RTTs in one **hop-major
+    /// block**: each hop's log-normal parameters are hoisted once (two
+    /// `ln`s per hop instead of two per hop *per probe*) and its jitter
+    /// variates are drawn in Box–Muller pairs across the block (both the
+    /// cosine and sine halves are used, halving the transcendental
+    /// cost). Spike uniforms are drawn only on hops with a non-zero
+    /// spike probability, exactly like the per-probe path.
+    ///
+    /// The marginal distribution of each probe's RTT is identical to
+    /// [`sample_rtt_ms`](Self::sample_rtt_ms); the draw *sequence*
+    /// differs (hop-major instead of probe-major), which is allowed
+    /// under the determinism contract as long as every probe stream
+    /// derives from its own [`crate::rng::stream_rng`] — calibration is
+    /// re-checked by the band tests below and in `edgescope-core`.
+    pub fn sample_rtt_block(&self, rng: &mut impl Rng, out: &mut [f64]) {
+        out.fill(0.0);
+        if out.is_empty() {
+            return;
+        }
+        for hop in &self.hops {
+            let params = LogNormalParams::from_mean_cv(hop.rtt_ms, hop.jitter_cv);
+            if params.sigma == 0.0 {
+                for v in out.iter_mut() {
+                    *v += hop.rtt_ms;
+                }
+            } else {
+                let mut pairs = out.chunks_exact_mut(2);
+                for pair in &mut pairs {
+                    let (z0, z1) = standard_normal_pair(rng);
+                    pair[0] += params.transform(z0);
+                    pair[1] += params.transform(z1);
+                }
+                if let [last] = pairs.into_remainder() {
+                    *last += params.transform(standard_normal_pair(rng).0);
+                }
+            }
+            if hop.spike_prob > 0.0 {
+                for v in out.iter_mut() {
+                    if rng.gen::<f64>() < hop.spike_prob {
+                        *v += exponential(rng, 1.0 / hop.spike_mean_ms);
+                    }
+                }
+            }
+        }
     }
 
     /// Probability that a single probe is lost anywhere along the path.
@@ -544,6 +590,43 @@ mod tests {
         assert!(p.hops()[2].visible);
         let q = m.ue_path(&mut rng, AccessNetwork::Wifi, 20.0, TargetClass::EdgeSite);
         assert!(q.hops().iter().all(|h| h.visible));
+    }
+
+    #[test]
+    fn block_sampling_matches_per_probe_distribution() {
+        // Hop-major block draws must stay inside the same calibration
+        // band as the probe-major loop: same mean and CV to sampling
+        // error, deterministic per seed.
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(31);
+        let p = m.ue_path(&mut rng, AccessNetwork::Wifi, 900.0, TargetClass::CloudRegion);
+        let n = 4000;
+        let mut block = vec![0.0; n];
+        p.sample_rtt_block(&mut StdRng::seed_from_u64(32), &mut block);
+        let single: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(33);
+            (0..n).map(|_| p.sample_rtt_ms(&mut r)).collect()
+        };
+        let stats = |xs: &[f64]| {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var =
+                xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+            (mean, var.sqrt() / mean)
+        };
+        let (bm, bcv) = stats(&block);
+        let (sm, scv) = stats(&single);
+        assert!((bm - sm).abs() / sm < 0.03, "means {bm} vs {sm}");
+        assert!((bcv - scv).abs() < 0.02, "cvs {bcv} vs {scv}");
+
+        // Deterministic and length-exact, including the odd-length tail.
+        let mut a = vec![0.0; 31];
+        let mut b = vec![0.0; 31];
+        p.sample_rtt_block(&mut StdRng::seed_from_u64(34), &mut a);
+        p.sample_rtt_block(&mut StdRng::seed_from_u64(34), &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x > 0.0));
+        let mut empty: [f64; 0] = [];
+        p.sample_rtt_block(&mut StdRng::seed_from_u64(35), &mut empty);
     }
 
     #[test]

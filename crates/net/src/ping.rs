@@ -17,6 +17,11 @@ use rand::Rng;
 /// (~30 ms) and cross-country (>100 ms) regimes.
 const RTT_BOUNDS_MS: [f64; 7] = [5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0];
 
+/// Probes per draw block: big enough to amortize the per-block hop
+/// parameter hoisting (the paper's standard run is 30 probes — one
+/// block), small enough to keep [`PingEngine::probe_moments`] O(1).
+const PROBE_BLOCK: usize = 128;
+
 /// Result of one ping run (the paper's 30-probe test).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PingStats {
@@ -158,7 +163,77 @@ impl PingEngine {
         PingEngine { fault }
     }
 
+    /// Shared blocked probe core behind [`probe`](Self::probe) and
+    /// [`probe_moments`](Self::probe_moments). Probes are processed in
+    /// blocks of [`PROBE_BLOCK`]: per block the loss uniforms are drawn
+    /// first, then the injected-drop uniforms for the loss survivors
+    /// (skipped entirely when `drop_chance` is zero, like the original
+    /// short-circuit), then the survivors' RTTs in one hop-major
+    /// [`Path::sample_rtt_block`], then jitter amplification. Survivor
+    /// RTTs are handed to `sink` in send order; loss counters are
+    /// emitted as lump sums with the same totals as the per-probe
+    /// `counter_inc` loop. Both public variants call this core, so they
+    /// consume the RNG identically and stay interchangeable.
+    fn probe_blocked(
+        &self,
+        rng: &mut impl Rng,
+        path: &Path,
+        n: usize,
+        mut sink: impl FnMut(&[f64]),
+    ) -> (usize, usize) {
+        let loss_p = path.loss_probability();
+        let mean = path.mean_rtt_ms();
+        obs::counter_add("net.probes_sent", n as u64);
+        let mut lost_path = 0usize;
+        let mut lost_fault = 0usize;
+        let mut rtts = [0.0f64; PROBE_BLOCK];
+        let mut off = 0;
+        while off < n {
+            let bn = (n - off).min(PROBE_BLOCK);
+            // Phase 1: path-loss uniforms for every probe in the block.
+            let mut after_loss = 0usize;
+            for _ in 0..bn {
+                if rng.gen::<f64>() >= loss_p {
+                    after_loss += 1;
+                }
+            }
+            lost_path += bn - after_loss;
+            // Phase 2: injected drops for the survivors (`drops` itself
+            // draws nothing when drop_chance is zero).
+            let mut returned = 0usize;
+            for _ in 0..after_loss {
+                if !self.fault.drops(rng) {
+                    returned += 1;
+                }
+            }
+            lost_fault += after_loss - returned;
+            // Phases 3+4: hop-major RTT block, then jitter amplification.
+            let block = &mut rtts[..returned];
+            path.sample_rtt_block(rng, block);
+            for r in block.iter_mut() {
+                *r = self.fault.amplify_jitter(mean, *r);
+                obs::observe("net.rtt_ms", *r, &RTT_BOUNDS_MS);
+            }
+            sink(block);
+            off += bn;
+        }
+        // Lump-sum counters: same totals as per-probe increments, and
+        // (like them) absent entirely from a run with no losses.
+        if lost_path > 0 {
+            obs::counter_add("net.probes_lost_path", lost_path as u64);
+        }
+        if lost_fault > 0 {
+            obs::counter_add("net.probes_dropped_fault", lost_fault as u64);
+        }
+        (lost_path, lost_fault)
+    }
+
     /// Run `n` echo probes along `path`.
+    ///
+    /// Probes are drawn in per-stream blocks (see
+    /// `probe_blocked`); each probe stream derives
+    /// from its own [`crate::rng::stream_rng`], so the blocked draw order
+    /// is identical at every `--jobs` count by construction.
     ///
     /// Metrics (no-ops outside an [`obs::scoped`] scope, and never
     /// drawing from `rng`): `net.probes_sent`, `net.probes_lost_path`,
@@ -166,61 +241,28 @@ impl PingEngine {
     /// histogram over returned probes.
     pub fn probe(&self, rng: &mut impl Rng, path: &Path, n: usize) -> PingStats {
         let mut rtts = Vec::with_capacity(n);
-        let mut lost = 0;
-        let loss_p = path.loss_probability();
-        let mean = path.mean_rtt_ms();
-        obs::counter_add("net.probes_sent", n as u64);
-        for _ in 0..n {
-            // Two explicit branches instead of `a || b` so path loss
-            // and injected drops count separately; the RNG draw order
-            // (including the short-circuit) is exactly the original's.
-            if rng.gen::<f64>() < loss_p {
-                lost += 1;
-                obs::counter_inc("net.probes_lost_path");
-                continue;
-            }
-            if self.fault.drops(rng) {
-                lost += 1;
-                obs::counter_inc("net.probes_dropped_fault");
-                continue;
-            }
-            let raw = path.sample_rtt_ms(rng);
-            let rtt = self.fault.amplify_jitter(mean, raw);
-            obs::observe("net.rtt_ms", rtt, &RTT_BOUNDS_MS);
-            rtts.push(rtt);
-        }
+        let (lost_path, lost_fault) =
+            self.probe_blocked(rng, path, n, |block| rtts.extend_from_slice(block));
         PingStats {
             rtts_ms: rtts,
-            lost,
+            lost: lost_path + lost_fault,
         }
     }
 
-    /// Streaming variant of [`probe`](Self::probe): same probe loop, same
-    /// RNG draw order (the two are interchangeable without perturbing any
-    /// downstream stream), same obs counters and `net.rtt_ms` histogram —
-    /// but the per-probe RTTs are folded into a [`ProbeMoments`] instead
-    /// of being kept, so memory stays O(1) in `n`.
+    /// Streaming variant of [`probe`](Self::probe): same blocked core,
+    /// same RNG draw order (the two are interchangeable without
+    /// perturbing any downstream stream), same obs counters and
+    /// `net.rtt_ms` histogram — but each RTT block is folded into a
+    /// [`ProbeMoments`] instead of being kept, so memory stays O(1) in
+    /// `n` (bounded by `PROBE_BLOCK`).
     pub fn probe_moments(&self, rng: &mut impl Rng, path: &Path, n: usize) -> ProbeMoments {
         let mut moments = ProbeMoments::new();
-        let loss_p = path.loss_probability();
-        let mean = path.mean_rtt_ms();
-        obs::counter_add("net.probes_sent", n as u64);
-        for _ in 0..n {
-            if rng.gen::<f64>() < loss_p {
-                moments.lost += 1;
-                obs::counter_inc("net.probes_lost_path");
-                continue;
+        let (lost_path, lost_fault) = self.probe_blocked(rng, path, n, |block| {
+            for &rtt in block {
+                moments.add(rtt);
             }
-            if self.fault.drops(rng) {
-                moments.lost += 1;
-                obs::counter_inc("net.probes_dropped_fault");
-                continue;
-            }
-            let raw = path.sample_rtt_ms(rng);
-            let rtt = self.fault.amplify_jitter(mean, raw);
-            obs::observe("net.rtt_ms", rtt, &RTT_BOUNDS_MS);
-            moments.add(rtt);
-        }
+        });
+        moments.lost = (lost_path + lost_fault) as u64;
         moments
     }
 }

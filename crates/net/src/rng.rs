@@ -99,6 +99,50 @@ pub fn standard_normal(rng: &mut impl Rng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
+/// Sample **two** independent standard normals from one Box–Muller pair
+/// of uniforms, using both the cosine and the sine halves — the block
+/// sampling primitive (halves the `ln`/`sqrt`/trig cost per variate
+/// compared to calling [`standard_normal`] twice).
+pub fn standard_normal_pair(rng: &mut impl Rng) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Hoisted log-normal parameters: the mean/CV parameterization of
+/// [`log_normal_mean_cv`] with the `ln` conversions done **once**, for
+/// hot loops that sample the same distribution many times (e.g. one
+/// path hop across a block of probes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormalParams {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Std of the underlying normal; `0.0` marks the degenerate point
+    /// mass at the mean (CV 0), which samples without consuming draws.
+    pub sigma: f64,
+}
+
+impl LogNormalParams {
+    /// Convert a (mean, CV) pair — same contract as
+    /// [`log_normal_mean_cv`].
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0, "log-normal mean must be positive");
+        assert!(cv >= 0.0, "negative cv");
+        if cv == 0.0 {
+            return LogNormalParams { mu: mean.ln(), sigma: 0.0 };
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        LogNormalParams { mu: mean.ln() - sigma2 / 2.0, sigma: sigma2.sqrt() }
+    }
+
+    /// Map one standard-normal variate to a log-normal sample.
+    pub fn transform(&self, z: f64) -> f64 {
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
 /// Sample N(mean, std).
 pub fn normal(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
     assert!(std >= 0.0, "negative std");
@@ -232,6 +276,47 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
         }
+    }
+
+    #[test]
+    fn normal_pair_cos_half_matches_single_draw() {
+        // Same uniforms → the cosine half of the pair IS the single-draw
+        // variate; the sine half is its independent sibling.
+        let mut a = StdRng::seed_from_u64(17);
+        let mut b = StdRng::seed_from_u64(17);
+        let (z0, z1) = standard_normal_pair(&mut a);
+        assert_eq!(z0, standard_normal(&mut b));
+        assert!(z1.is_finite());
+    }
+
+    #[test]
+    fn normal_pair_moments() {
+        let mut r = rng();
+        let mut xs = Vec::with_capacity(40_000);
+        for _ in 0..20_000 {
+            let (a, b) = standard_normal_pair(&mut r);
+            xs.push(a);
+            xs.push(b);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_params_match_per_call_path() {
+        // Hoisted parameters + transform must equal log_normal_mean_cv on
+        // the same underlying draw.
+        let p = LogNormalParams::from_mean_cv(7.0, 0.3);
+        let mut a = StdRng::seed_from_u64(23);
+        let mut b = StdRng::seed_from_u64(23);
+        let z = standard_normal(&mut a);
+        assert_eq!(p.transform(z), log_normal_mean_cv(&mut b, 7.0, 0.3));
+        // CV 0 degenerates to the point mass at the mean.
+        let flat = LogNormalParams::from_mean_cv(7.0, 0.0);
+        assert_eq!(flat.sigma, 0.0);
+        assert!((flat.transform(0.0) - 7.0).abs() < 1e-12);
     }
 
     #[test]

@@ -173,6 +173,36 @@ pub fn evaluate_lstm(
     evaluate_lstm_jobs(cpu_series, samples_per_half_hour, agg, cfg, 1)
 }
 
+/// Scalar-reference counterpart of [`evaluate_lstm_jobs`]: identical
+/// windowing, split, per-series seed derivation, and obs counters, but
+/// training [`crate::reference::ScalarLstm`] (the pre-kernel per-element
+/// loops) instead of the packed-GEMM cell. Exists so `predict-baseline
+/// --check-kernel` can measure the kernel speedup on identical work; no
+/// campaign calls this.
+pub fn evaluate_lstm_reference_jobs(
+    cpu_series: &[Vec<f64>],
+    samples_per_half_hour: usize,
+    agg: Aggregation,
+    cfg: &LstmConfig,
+    jobs: usize,
+) -> PredictionReport {
+    let rmses = eval_series(cpu_series.len(), jobs, |i| {
+        let windows =
+            windows_or_skip(&cpu_series[i], samples_per_half_hour, agg, cfg.lookback + 8)?;
+        let (train, test) = train_test_split(&windows);
+        let series_cfg = LstmConfig {
+            seed: stream_seed(cfg.seed, entity_tag(domains::PREDICT_SERIES, i)),
+            ..cfg.clone()
+        };
+        obs::counter_add("predict.epochs_run", series_cfg.epochs as u64);
+        let mut model = crate::reference::ScalarLstm::new(series_cfg);
+        model.train(train);
+        let preds = model.forecast_online(train, test);
+        Some(rmse(&preds, test))
+    });
+    PredictionReport { model: "lstm-scalar-reference", aggregation: agg, rmse_per_vm: rmses }
+}
+
 /// The baseline forecasters evaluated by [`evaluate_baseline`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BaselineKind {

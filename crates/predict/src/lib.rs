@@ -27,16 +27,30 @@
 //! metric scopes, byte-identical to the serial path at every worker
 //! count.
 //!
+//! ## Hot-path kernels
+//! The LSTM cell runs on the packed blocked kernels in [`gemm`]: the four
+//! gate weight matrices live in one contiguous `[4·hidden × (2+hidden)]`
+//! block so each forward/BPTT step is one GEMM + pointwise pass, and
+//! rolling-origin inference batches all test positions through one
+//! matrix–matrix product per step. The Holt-Winters smoothing grid is
+//! evaluated in a single pass over the series with shared state arrays.
+//! Both batched paths are pinned to the scalar reference implementation
+//! ([`mod@reference`]) by kernel-equivalence golden tests.
+//!
 //! ## Omitted
-//! No GPU, no batching across VMs (the paper trains "on each separated
-//! VM"), no hyper-parameter search beyond Holt-Winters' small smoothing
-//! grid — matching the paper's fixed 1-layer/24-unit setup.
+//! No GPU, no training batches across VMs (the paper trains "on each
+//! separated VM" — training stays per-VM; only the rolling-origin
+//! *inference* positions within one VM are batched), no hyper-parameter
+//! search beyond Holt-Winters' small smoothing grid — matching the
+//! paper's fixed 1-layer/24-unit setup.
 
 pub mod baselines;
 pub mod eval;
+pub mod gemm;
 pub mod holt_winters;
 pub mod lstm;
 mod pool;
+pub mod reference;
 pub mod window;
 
 pub use baselines::{naive_forecast, seasonal_naive_forecast, ArModel};

@@ -1,4 +1,4 @@
-//! A from-scratch single-layer LSTM forecaster.
+//! A from-scratch single-layer LSTM forecaster on packed matrix kernels.
 //!
 //! §4.4: "The LSTM model has 1 layer and 24 units (2496 weights)". With
 //! input size 1 and hidden size 24 the recurrent cell holds
@@ -9,9 +9,40 @@
 //!
 //! Training: per-sample full BPTT over a fixed lookback, Adam, global-norm
 //! gradient clipping, inputs scaled to `[0, 1]` (CPU percent / 100).
+//!
+//! # Packed cell layout and kernels
+//!
+//! The four gate weight matrices and their biases live in **one**
+//! contiguous row-major block of shape `[4·H × (1 + input + H)]`
+//! (`input = 1`): row `gate·H + j` holds unit `j` of gate `i/f/g/o`, and
+//! its columns are `[bias, x-weight, h-weights…]`. Each forward step is
+//! then a single [`gemm::matvec`] against the step vector
+//! `v = [1, x, h_prev…]` plus one pointwise activation pass, and each
+//! BPTT step is one [`gemm::rank1_acc`] (weight gradients) plus one
+//! [`gemm::matvec_t_acc`] (`dh_prev = Wᵀ·dz`) — no nested scalar loops,
+//! no per-step allocation (a reusable `Workspace` holds every cache).
+//! Adam updates run over the packed buffer directly. Rolling-origin
+//! inference ([`Lstm::forecast_online`]) batches all test positions into
+//! one [`gemm::matmul`] per step, since the rolling histories are known
+//! up front.
+//!
+//! # Equivalence with the scalar reference
+//!
+//! The kernels accumulate every dot product in the same ascending order
+//! as the pre-kernel scalar implementation (kept as
+//! [`crate::reference::ScalarLstm`]), so the packed **forward** pass is
+//! bit-for-bit identical on the same weights, and `Lstm::new` draws its
+//! initialization in the same RNG order, so both paths start from the
+//! same logical model. The **backward** pass reorders two independent
+//! reductions (the global clip norm and the `dh_prev` row sum), which
+//! shifts training by floating-point round-off only; the
+//! kernel-equivalence tests in `crates/predict/tests/kernel_equiv.rs`
+//! pin both properties.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::gemm;
 
 /// Hyper-parameters.
 #[derive(Debug, Clone)]
@@ -78,14 +109,13 @@ impl AdamParam {
     }
 }
 
-/// The LSTM forecaster.
+/// The LSTM forecaster (packed-kernel implementation; see module docs).
 #[derive(Debug, Clone)]
 pub struct Lstm {
     cfg: LstmConfig,
-    /// Cell matrix, rows = 4·H gates (i, f, g, o), cols = 1 + H.
-    w: AdamParam,
-    /// Cell biases, 4·H.
-    b: AdamParam,
+    /// Packed cell block, rows = 4·H gates (i, f, g, o), cols =
+    /// `[bias, x-weight, h-weights…]` (width 2 + H).
+    wb: AdamParam,
     /// Readout weights, H.
     wy: AdamParam,
     /// Readout bias.
@@ -97,47 +127,126 @@ fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 
-struct StepCache {
-    x: f64,
-    h_prev: Vec<f64>,
-    c_prev: Vec<f64>,
-    i: Vec<f64>,
-    f: Vec<f64>,
-    g: Vec<f64>,
-    o: Vec<f64>,
+/// Reusable buffers for one training/inference stream: the step vector,
+/// pre-activations, per-step caches, and the backward scratch. Sized for
+/// the longest sequence seen so far; reused across every
+/// `train_one`/`forward` call of one training run so the hot loop never
+/// allocates.
+struct Workspace {
+    hn: usize,
+    cols: usize,
+    /// Step capacity the per-step caches are sized for.
+    steps: usize,
+    /// Step input vector `[1, x, h_prev…]`, length `cols`.
+    v: Vec<f64>,
+    /// Pre-activations, length 4·H.
+    z: Vec<f64>,
+    /// Activated gates per step (`i/f/g/o` in row layout), `steps × 4H`.
+    gates: Vec<f64>,
+    /// Cell states per step, `steps × H`.
+    c: Vec<f64>,
+    /// `tanh(c)` per step, `steps × H`.
     tanh_c: Vec<f64>,
+    /// Hidden states per step, `steps × H`.
     h: Vec<f64>,
+    /// Backward: dL/dh of the current step, H.
+    dh: Vec<f64>,
+    /// Backward: dL/dc carried across steps, H.
+    dc: Vec<f64>,
+    /// Backward: dL/dh_prev accumulator, H.
+    dh_prev: Vec<f64>,
+    /// Backward: gate pre-activation gradients, 4·H.
+    dz: Vec<f64>,
+    /// Packed cell gradient, same shape as `Lstm::wb`.
+    gwb: Vec<f64>,
+    /// Readout weight gradient, H.
+    gwy: Vec<f64>,
+}
+
+impl Workspace {
+    fn new(hn: usize) -> Self {
+        let cols = 2 + hn;
+        Workspace {
+            hn,
+            cols,
+            steps: 0,
+            v: vec![0.0; cols],
+            z: vec![0.0; 4 * hn],
+            gates: Vec::new(),
+            c: Vec::new(),
+            tanh_c: Vec::new(),
+            h: Vec::new(),
+            dh: vec![0.0; hn],
+            dc: vec![0.0; hn],
+            dh_prev: vec![0.0; hn],
+            dz: vec![0.0; 4 * hn],
+            gwb: vec![0.0; 4 * hn * cols],
+            gwy: vec![0.0; hn],
+        }
+    }
+
+    fn ensure_steps(&mut self, steps: usize) {
+        if steps > self.steps {
+            self.gates.resize(steps * 4 * self.hn, 0.0);
+            self.c.resize(steps * self.hn, 0.0);
+            self.tanh_c.resize(steps * self.hn, 0.0);
+            self.h.resize(steps * self.hn, 0.0);
+            self.steps = steps;
+        }
+    }
+
+    /// Fill `v = [1, x, h_prev]` for step `t` from the cached states.
+    fn load_v(&mut self, t: usize, x: f64) {
+        let hn = self.hn;
+        self.v[0] = 1.0;
+        self.v[1] = x;
+        if t == 0 {
+            self.v[2..2 + hn].fill(0.0);
+        } else {
+            self.v[2..2 + hn].copy_from_slice(&self.h[(t - 1) * hn..t * hn]);
+        }
+    }
 }
 
 impl Lstm {
-    /// Fresh, randomly-initialized model.
+    /// Fresh, randomly-initialized model. The matrix weights are drawn
+    /// in the same RNG order as the scalar reference
+    /// ([`crate::reference::ScalarLstm::new`]) and scattered into the
+    /// packed layout, so both implementations start from the same
+    /// logical weights for a given seed.
     pub fn new(cfg: LstmConfig) -> Self {
         assert!(cfg.hidden > 0 && cfg.lookback > 0 && cfg.stride > 0);
         let h = cfg.hidden;
-        let cols = 1 + h;
+        let cols = 2 + h;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let k = 1.0 / (h as f64).sqrt();
-        let mut init = |n: usize| -> Vec<f64> {
-            (0..n).map(|_| rng.gen_range(-k..k)).collect()
-        };
-        let mut b = vec![0.0; 4 * h];
-        // Forget-gate bias at 1.0 — the standard trick for gradient flow.
-        for v in b.iter_mut().take(2 * h).skip(h) {
-            *v = 1.0;
+        let mut wb = vec![0.0; 4 * h * cols];
+        // Matrix part first (cols 1..), row-major — the reference draw
+        // order.
+        for row in wb.chunks_exact_mut(cols) {
+            for v in &mut row[1..] {
+                *v = rng.gen_range(-k..k);
+            }
         }
+        // Bias column: forget gate at 1.0 — the standard trick for
+        // gradient flow — everything else at 0.
+        for (r, row) in wb.chunks_exact_mut(cols).enumerate() {
+            row[0] = if (h..2 * h).contains(&r) { 1.0 } else { 0.0 };
+        }
+        let wy: Vec<f64> = (0..h).map(|_| rng.gen_range(-k..k)).collect();
         Lstm {
-            w: AdamParam::new(init(4 * h * cols)),
-            b: AdamParam::new(b),
-            wy: AdamParam::new(init(h)),
+            wb: AdamParam::new(wb),
+            wy: AdamParam::new(wy),
             by: AdamParam::new(vec![0.0]),
             adam_t: 0,
             cfg,
         }
     }
 
-    /// Trainable weights in the recurrent cell — the paper's quoted count.
+    /// Trainable weights in the recurrent cell — the paper's quoted count
+    /// (matrix weights plus biases; both live in the packed block).
     pub fn cell_weight_count(&self) -> usize {
-        self.w.w.len() + self.b.w.len()
+        self.wb.w.len()
     }
 
     /// Total trainable weights including the readout.
@@ -145,144 +254,135 @@ impl Lstm {
         self.cell_weight_count() + self.wy.w.len() + self.by.w.len()
     }
 
-    /// Forward one sequence (normalized inputs); returns caches and the
-    /// prediction.
-    fn forward(&self, xs: &[f64]) -> (Vec<StepCache>, f64) {
+    /// Forward one sequence (normalized inputs) through the workspace,
+    /// leaving all step caches populated; returns the prediction.
+    fn forward_ws(&self, xs: &[f64], ws: &mut Workspace) -> f64 {
+        assert!(!xs.is_empty(), "non-empty sequence");
         let hn = self.cfg.hidden;
-        let cols = 1 + hn;
-        let mut h = vec![0.0; hn];
-        let mut c = vec![0.0; hn];
-        let mut caches = Vec::with_capacity(xs.len());
-        for &x in xs {
-            let h_prev = h.clone();
-            let c_prev = c.clone();
-            let mut i_g = vec![0.0; hn];
-            let mut f_g = vec![0.0; hn];
-            let mut g_g = vec![0.0; hn];
-            let mut o_g = vec![0.0; hn];
+        let c4 = 4 * hn;
+        ws.ensure_steps(xs.len());
+        for (t, &x) in xs.iter().enumerate() {
+            ws.load_v(t, x);
+            gemm::matvec(&self.wb.w, &ws.v, &mut ws.z, c4, ws.cols);
             for j in 0..hn {
-                let mut acc = [0.0f64; 4];
-                for (gate, a) in acc.iter_mut().enumerate() {
-                    let row = gate * hn + j;
-                    let base = row * cols;
-                    let mut s = self.b.w[row] + self.w.w[base] * x;
-                    for (k2, &hp) in h_prev.iter().enumerate() {
-                        s += self.w.w[base + 1 + k2] * hp;
-                    }
-                    *a = s;
-                }
-                i_g[j] = sigmoid(acc[0]);
-                f_g[j] = sigmoid(acc[1]);
-                g_g[j] = acc[2].tanh();
-                o_g[j] = sigmoid(acc[3]);
-                c[j] = f_g[j] * c_prev[j] + i_g[j] * g_g[j];
-                h[j] = o_g[j] * c[j].tanh();
+                let i_g = sigmoid(ws.z[j]);
+                let f_g = sigmoid(ws.z[hn + j]);
+                let g_g = ws.z[2 * hn + j].tanh();
+                let o_g = sigmoid(ws.z[3 * hn + j]);
+                let c_prev = if t == 0 { 0.0 } else { ws.c[(t - 1) * hn + j] };
+                let cj = f_g * c_prev + i_g * g_g;
+                let tc = cj.tanh();
+                ws.gates[t * c4 + j] = i_g;
+                ws.gates[t * c4 + hn + j] = f_g;
+                ws.gates[t * c4 + 2 * hn + j] = g_g;
+                ws.gates[t * c4 + 3 * hn + j] = o_g;
+                ws.c[t * hn + j] = cj;
+                ws.tanh_c[t * hn + j] = tc;
+                ws.h[t * hn + j] = o_g * tc;
             }
-            caches.push(StepCache {
-                x,
-                h_prev,
-                c_prev,
-                i: i_g,
-                f: f_g,
-                g: g_g,
-                o: o_g,
-                tanh_c: c.iter().map(|v| v.tanh()).collect(),
-                h: h.clone(),
-            });
         }
-        let last = caches.last().expect("non-empty sequence");
-        let y = self.by.w[0]
-            + self
-                .wy
-                .w
-                .iter()
-                .zip(&last.h)
-                .map(|(w, h)| w * h)
-                .sum::<f64>();
-        (caches, y)
+        let last = (xs.len() - 1) * hn;
+        let s: f64 = self
+            .wy
+            .w
+            .iter()
+            .zip(&ws.h[last..last + hn])
+            .map(|(w, h)| w * h)
+            .sum();
+        self.by.w[0] + s
     }
 
-    /// Forward without caches (inference).
+    /// Forward without exposing the workspace (inference, single
+    /// sequence). Hot inference goes through the batched
+    /// [`forecast_online`](Self::forecast_online) instead.
     pub fn predict_normalized(&self, xs: &[f64]) -> f64 {
-        self.forward(xs).1
+        let mut ws = Workspace::new(self.cfg.hidden);
+        self.forward_ws(xs, &mut ws)
     }
 
     /// One SGD/Adam step on a single (sequence → target) pair. Returns the
     /// squared error before the update.
-    #[allow(clippy::needless_range_loop)] // hidden-unit indices span several arrays
-    fn train_one(&mut self, xs: &[f64], target: f64) -> f64 {
+    fn train_one_ws(&mut self, xs: &[f64], target: f64, ws: &mut Workspace) -> f64 {
         let hn = self.cfg.hidden;
-        let cols = 1 + hn;
-        let (caches, y) = self.forward(xs);
+        let c4 = 4 * hn;
+        let y = self.forward_ws(xs, ws);
         let dy = 2.0 * (y - target);
+        let steps = xs.len();
 
-        let mut gw = vec![0.0; self.w.w.len()];
-        let mut gb = vec![0.0; self.b.w.len()];
-        let mut gwy = vec![0.0; hn];
-        let gby = vec![dy];
-
-        let last = caches.last().unwrap();
+        ws.gwb.fill(0.0);
+        let last = (steps - 1) * hn;
         for j in 0..hn {
-            gwy[j] = dy * last.h[j];
+            ws.gwy[j] = dy * ws.h[last + j];
         }
-        let mut dh: Vec<f64> = self.wy.w.iter().map(|w| dy * w).collect();
-        let mut dc = vec![0.0; hn];
+        let gby = dy;
+        for (dhj, wyj) in ws.dh.iter_mut().zip(&self.wy.w) {
+            *dhj = dy * wyj;
+        }
+        ws.dc.fill(0.0);
 
-        for cache in caches.iter().rev() {
-            let mut dh_prev = vec![0.0; hn];
-            let mut dc_prev = vec![0.0; hn];
+        for t in (0..steps).rev() {
+            // Pointwise gate gradients; `dc` becomes `dc_prev` in place
+            // (each element is read once before being overwritten).
             for j in 0..hn {
-                let dcj = dc[j] + dh[j] * cache.o[j] * (1.0 - cache.tanh_c[j] * cache.tanh_c[j]);
-                let d_o = dh[j] * cache.tanh_c[j];
-                let d_i = dcj * cache.g[j];
-                let d_f = dcj * cache.c_prev[j];
-                let d_g = dcj * cache.i[j];
-                let dz = [
-                    d_i * cache.i[j] * (1.0 - cache.i[j]),
-                    d_f * cache.f[j] * (1.0 - cache.f[j]),
-                    d_g * (1.0 - cache.g[j] * cache.g[j]),
-                    d_o * cache.o[j] * (1.0 - cache.o[j]),
-                ];
-                for (gate, &dzv) in dz.iter().enumerate() {
-                    let row = gate * hn + j;
-                    let base = row * cols;
-                    gb[row] += dzv;
-                    gw[base] += dzv * cache.x;
-                    for k2 in 0..hn {
-                        gw[base + 1 + k2] += dzv * cache.h_prev[k2];
-                        dh_prev[k2] += dzv * self.w.w[base + 1 + k2];
-                    }
-                }
-                dc_prev[j] = dcj * cache.f[j];
+                let i_g = ws.gates[t * c4 + j];
+                let f_g = ws.gates[t * c4 + hn + j];
+                let g_g = ws.gates[t * c4 + 2 * hn + j];
+                let o_g = ws.gates[t * c4 + 3 * hn + j];
+                let tc = ws.tanh_c[t * hn + j];
+                let c_prev = if t == 0 { 0.0 } else { ws.c[(t - 1) * hn + j] };
+                let dcj = ws.dc[j] + ws.dh[j] * o_g * (1.0 - tc * tc);
+                let d_o = ws.dh[j] * tc;
+                let d_i = dcj * g_g;
+                let d_f = dcj * c_prev;
+                let d_g = dcj * i_g;
+                ws.dz[j] = d_i * i_g * (1.0 - i_g);
+                ws.dz[hn + j] = d_f * f_g * (1.0 - f_g);
+                ws.dz[2 * hn + j] = d_g * (1.0 - g_g * g_g);
+                ws.dz[3 * hn + j] = d_o * o_g * (1.0 - o_g);
+                ws.dc[j] = dcj * f_g;
             }
-            dh = dh_prev;
-            dc = dc_prev;
+            // Weight gradients: one rank-1 update of the packed block.
+            ws.load_v(t, xs[t]);
+            gemm::rank1_acc(&mut ws.gwb, &ws.dz, &ws.v, c4, ws.cols);
+            // dh_prev = Wᵀ·dz over the hidden-state columns.
+            ws.dh_prev.fill(0.0);
+            gemm::matvec_t_acc(&self.wb.w, &ws.dz, &mut ws.dh_prev, ws.cols, 2);
+            std::mem::swap(&mut ws.dh, &mut ws.dh_prev);
         }
 
-        // Global-norm clipping across all parameter groups.
-        let norm: f64 = gw
+        // Global-norm clipping across all parameter groups (packed cell
+        // gradient — weights and biases together — plus the readout).
+        let norm: f64 = (ws
+            .gwb
             .iter()
-            .chain(&gb)
-            .chain(&gwy)
-            .chain(&gby)
+            .chain(&ws.gwy)
             .map(|g| g * g)
             .sum::<f64>()
+            + gby * gby)
             .sqrt();
         let scale = if norm > self.cfg.clip { self.cfg.clip / norm } else { 1.0 };
         if scale < 1.0 {
-            for g in gw.iter_mut().chain(&mut gb).chain(&mut gwy) {
+            for g in ws.gwb.iter_mut().chain(&mut ws.gwy) {
                 *g *= scale;
             }
         }
-        let gby = [gby[0] * scale];
+        let gby = [gby * scale];
 
         self.adam_t += 1;
         let (lr, t) = (self.cfg.lr, self.adam_t);
-        self.w.step(&gw, lr, t);
-        self.b.step(&gb, lr, t);
-        self.wy.step(&gwy, lr, t);
+        self.wb.step(&ws.gwb, lr, t);
+        self.wy.step(&ws.gwy, lr, t);
         self.by.step(&gby, lr, t);
         (y - target) * (y - target)
+    }
+
+    /// One training step with an ephemeral workspace (tests and
+    /// single-shot callers; `train` reuses one workspace for the whole
+    /// run).
+    #[cfg(test)]
+    fn train_one(&mut self, xs: &[f64], target: f64) -> f64 {
+        let mut ws = Workspace::new(self.cfg.hidden);
+        self.train_one_ws(xs, target, &mut ws)
     }
 
     /// Train on a window series (raw percent values). Sequences are all
@@ -296,6 +396,7 @@ impl Lstm {
         let xs: Vec<f64> = train_windows.iter().map(|v| v / 100.0).collect();
         let mut order: Vec<usize> = (0..xs.len() - l).step_by(self.cfg.stride).collect();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
+        let mut ws = Workspace::new(self.cfg.hidden);
         for _ in 0..self.cfg.epochs {
             // Fisher-Yates shuffle for sample order.
             for i in (1..order.len()).rev() {
@@ -303,7 +404,7 @@ impl Lstm {
                 order.swap(i, j);
             }
             for &s in &order {
-                self.train_one(&xs[s..s + l], xs[s + l]);
+                self.train_one_ws(&xs[s..s + l], xs[s + l], &mut ws);
             }
         }
     }
@@ -312,22 +413,66 @@ impl Lstm {
     /// history (both in raw percent). Each prediction sees the true
     /// history up to that point (rolling origin), like the Holt-Winters
     /// evaluation.
+    ///
+    /// Because every rolling history is known up front, all test
+    /// positions run as **one batch**: each LSTM step is a single
+    /// `[4H × (2+H)] · [(2+H) × B]` [`gemm::matmul`] plus one pointwise
+    /// pass over the `B` columns. Per column the arithmetic (and its
+    /// order) is identical to feeding that sequence through
+    /// [`predict_normalized`](Self::predict_normalized), so the batch is
+    /// bit-for-bit equal to the sequential loop it replaced.
     pub fn forecast_online(&self, train_windows: &[f64], test_windows: &[f64]) -> Vec<f64> {
         let l = self.cfg.lookback;
+        let hn = self.cfg.hidden;
+        let cols = 2 + hn;
         let mut history: Vec<f64> = train_windows.iter().map(|v| v / 100.0).collect();
         assert!(
             history.len() >= l,
             "history shorter than lookback ({} < {l})",
             history.len()
         );
-        let mut out = Vec::with_capacity(test_windows.len());
-        for &actual in test_windows {
-            let seq = &history[history.len() - l..];
-            let y = self.predict_normalized(seq);
-            out.push((y * 100.0).clamp(0.0, 100.0));
-            history.push(actual / 100.0);
+        let nb = test_windows.len();
+        if nb == 0 {
+            return Vec::new();
         }
-        out
+        let t0 = history.len();
+        history.extend(test_windows.iter().map(|v| v / 100.0));
+
+        // Column b runs the sequence history[t0 + b - l .. t0 + b].
+        let mut vmat = vec![0.0; cols * nb]; // (2+H) × B, row-major
+        vmat[..nb].fill(1.0);
+        let mut h = vec![0.0; hn * nb];
+        let mut c = vec![0.0; hn * nb];
+        let mut z = vec![0.0; 4 * hn * nb];
+        for t in 0..l {
+            for b in 0..nb {
+                vmat[nb + b] = history[t0 + b + t - l];
+            }
+            vmat[2 * nb..].copy_from_slice(&h);
+            gemm::matmul(&self.wb.w, &vmat, &mut z, 4 * hn, cols, nb);
+            for j in 0..hn {
+                for b in 0..nb {
+                    let idx = j * nb + b;
+                    let i_g = sigmoid(z[idx]);
+                    let f_g = sigmoid(z[(hn + j) * nb + b]);
+                    let g_g = z[(2 * hn + j) * nb + b].tanh();
+                    let o_g = sigmoid(z[(3 * hn + j) * nb + b]);
+                    let cv = f_g * c[idx] + i_g * g_g;
+                    c[idx] = cv;
+                    h[idx] = o_g * cv.tanh();
+                }
+            }
+        }
+        (0..nb)
+            .map(|b| {
+                let mut s = 0.0;
+                for j in 0..hn {
+                    s += self.wy.w[j] * h[j * nb + b];
+                }
+                let y = self.by.w[0] + s;
+                (y * 100.0).clamp(0.0, 100.0)
+            })
+            .collect()
     }
 }
 
@@ -393,12 +538,12 @@ mod tests {
         let xs = [0.2, 0.4, 0.6, 0.5, 0.3];
         let target = 0.45;
         let mut m = Lstm::new(LstmConfig { hidden: 4, lookback: 5, ..Default::default() });
-        let (_, y0) = m.forward(&xs);
+        let y0 = m.predict_normalized(&xs);
         let loss0 = (y0 - target) * (y0 - target);
         // One Adam step must reduce this sample's loss (lr small enough).
         m.cfg.lr = 1e-3;
         m.train_one(&xs, target);
-        let (_, y1) = m.forward(&xs);
+        let y1 = m.predict_normalized(&xs);
         let loss1 = (y1 - target) * (y1 - target);
         assert!(loss1 < loss0, "loss {loss0} -> {loss1}");
     }
@@ -422,5 +567,33 @@ mod tests {
         for p in m.forecast_online(&xs[..40], &xs[40..]) {
             assert!((0.0..=100.0).contains(&p));
         }
+    }
+
+    #[test]
+    fn batched_forecast_matches_sequential_singles() {
+        // The batched GEMM inference must equal predicting each rolling
+        // origin one at a time — bit for bit.
+        let xs: Vec<f64> = (0..140)
+            .map(|i| 35.0 + 20.0 * (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin())
+            .collect();
+        let mut m = Lstm::new(LstmConfig { epochs: 2, lookback: 10, ..Default::default() });
+        m.train(&xs[..100]);
+        let batched = m.forecast_online(&xs[..100], &xs[100..]);
+        let l = 10;
+        let mut history: Vec<f64> = xs[..100].iter().map(|v| v / 100.0).collect();
+        let mut singles = Vec::new();
+        for &actual in &xs[100..] {
+            let y = m.predict_normalized(&history[history.len() - l..]);
+            singles.push((y * 100.0).clamp(0.0, 100.0));
+            history.push(actual / 100.0);
+        }
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn empty_test_window_is_empty_forecast() {
+        let m = Lstm::new(cfg_small());
+        let hist = vec![10.0; 20];
+        assert!(m.forecast_online(&hist, &[]).is_empty());
     }
 }

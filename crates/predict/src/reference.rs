@@ -1,0 +1,303 @@
+//! The pre-kernel scalar LSTM, kept as the equivalence/speedup reference.
+//!
+//! [`ScalarLstm`] is a faithful copy of the per-element implementation
+//! the packed-GEMM [`crate::lstm::Lstm`] replaced: nested scalar loops
+//! over `(gate, unit)` pairs with per-step cache allocations, exactly as
+//! the forecaster trained before the kernel refactor. It exists for two
+//! gates, not for production use:
+//!
+//! * **Kernel equivalence** — `crates/predict/tests/kernel_equiv.rs`
+//!   asserts the packed forward pass matches this reference
+//!   **bit-for-bit** on pinned seeds (both paths accumulate each dot
+//!   product in the same ascending order), and that training stays
+//!   within round-off over multiple BPTT/Adam steps (the packed
+//!   backward reorders two *independent* reductions — the global clip
+//!   norm and `dh_prev` — so training equivalence is `≈` at `1e-9`, not
+//!   `==`).
+//! * **Kernel speedup floor** — the `predict-baseline` binary times this
+//!   reference against the packed path on the same cohort and
+//!   `--check-kernel` fails CI when the measured win falls below the
+//!   floor, keeping the "as fast as the hardware allows" claim
+//!   measurement-gated.
+//!
+//! Seeding and draw order are identical to [`crate::lstm::Lstm::new`],
+//! so `ScalarLstm::new(cfg)` and `Lstm::new(cfg)` hold the same logical
+//! weights for the same config.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lstm::LstmConfig;
+
+/// Flat parameter block with Adam moments (reference copy).
+#[derive(Debug, Clone)]
+struct AdamParam {
+    w: Vec<f64>,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl AdamParam {
+    fn new(w: Vec<f64>) -> Self {
+        let n = w.len();
+        AdamParam { w, m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    #[allow(clippy::needless_range_loop)] // parallel-array update
+    fn step(&mut self, grad: &[f64], lr: f64, t: usize) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for i in 0..self.w.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * grad[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * grad[i] * grad[i];
+            let mh = self.m[i] / bc1;
+            let vh = self.v[i] / bc2;
+            self.w[i] -= lr * mh / (vh.sqrt() + EPS);
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+struct StepCache {
+    x: f64,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    tanh_c: Vec<f64>,
+    h: Vec<f64>,
+}
+
+/// The pre-kernel scalar LSTM (see module docs). Same hyper-parameters,
+/// same seeding, same training protocol as [`crate::lstm::Lstm`] — only
+/// the inner loops differ.
+#[derive(Debug, Clone)]
+pub struct ScalarLstm {
+    cfg: LstmConfig,
+    /// Cell matrix, rows = 4·H gates (i, f, g, o), cols = 1 + H.
+    w: AdamParam,
+    /// Cell biases, 4·H.
+    b: AdamParam,
+    /// Readout weights, H.
+    wy: AdamParam,
+    /// Readout bias.
+    by: AdamParam,
+    adam_t: usize,
+}
+
+impl ScalarLstm {
+    /// Fresh model with the same weights as `Lstm::new(cfg)`.
+    pub fn new(cfg: LstmConfig) -> Self {
+        assert!(cfg.hidden > 0 && cfg.lookback > 0 && cfg.stride > 0);
+        let h = cfg.hidden;
+        let cols = 1 + h;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let k = 1.0 / (h as f64).sqrt();
+        let mut init = |n: usize| -> Vec<f64> {
+            (0..n).map(|_| rng.gen_range(-k..k)).collect()
+        };
+        let mut b = vec![0.0; 4 * h];
+        // Forget-gate bias at 1.0 — the standard trick for gradient flow.
+        for v in b.iter_mut().take(2 * h).skip(h) {
+            *v = 1.0;
+        }
+        ScalarLstm {
+            w: AdamParam::new(init(4 * h * cols)),
+            b: AdamParam::new(b),
+            wy: AdamParam::new(init(h)),
+            by: AdamParam::new(vec![0.0]),
+            adam_t: 0,
+            cfg,
+        }
+    }
+
+    /// Forward one sequence (normalized inputs); returns caches and the
+    /// prediction.
+    fn forward(&self, xs: &[f64]) -> (Vec<StepCache>, f64) {
+        let hn = self.cfg.hidden;
+        let cols = 1 + hn;
+        let mut h = vec![0.0; hn];
+        let mut c = vec![0.0; hn];
+        let mut caches = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let h_prev = h.clone();
+            let c_prev = c.clone();
+            let mut i_g = vec![0.0; hn];
+            let mut f_g = vec![0.0; hn];
+            let mut g_g = vec![0.0; hn];
+            let mut o_g = vec![0.0; hn];
+            for j in 0..hn {
+                let mut acc = [0.0f64; 4];
+                for (gate, a) in acc.iter_mut().enumerate() {
+                    let row = gate * hn + j;
+                    let base = row * cols;
+                    let mut s = self.b.w[row] + self.w.w[base] * x;
+                    for (k2, &hp) in h_prev.iter().enumerate() {
+                        s += self.w.w[base + 1 + k2] * hp;
+                    }
+                    *a = s;
+                }
+                i_g[j] = sigmoid(acc[0]);
+                f_g[j] = sigmoid(acc[1]);
+                g_g[j] = acc[2].tanh();
+                o_g[j] = sigmoid(acc[3]);
+                c[j] = f_g[j] * c_prev[j] + i_g[j] * g_g[j];
+                h[j] = o_g[j] * c[j].tanh();
+            }
+            caches.push(StepCache {
+                x,
+                h_prev,
+                c_prev,
+                i: i_g,
+                f: f_g,
+                g: g_g,
+                o: o_g,
+                tanh_c: c.iter().map(|v| v.tanh()).collect(),
+                h: h.clone(),
+            });
+        }
+        let last = caches.last().expect("non-empty sequence");
+        let y = self.by.w[0]
+            + self
+                .wy
+                .w
+                .iter()
+                .zip(&last.h)
+                .map(|(w, h)| w * h)
+                .sum::<f64>();
+        (caches, y)
+    }
+
+    /// Forward without caches (inference).
+    pub fn predict_normalized(&self, xs: &[f64]) -> f64 {
+        self.forward(xs).1
+    }
+
+    /// One SGD/Adam step on a single (sequence → target) pair. Returns
+    /// the squared error before the update.
+    #[allow(clippy::needless_range_loop)] // hidden-unit indices span several arrays
+    pub fn train_one(&mut self, xs: &[f64], target: f64) -> f64 {
+        let hn = self.cfg.hidden;
+        let cols = 1 + hn;
+        let (caches, y) = self.forward(xs);
+        let dy = 2.0 * (y - target);
+
+        let mut gw = vec![0.0; self.w.w.len()];
+        let mut gb = vec![0.0; self.b.w.len()];
+        let mut gwy = vec![0.0; hn];
+        let gby = vec![dy];
+
+        let last = caches.last().unwrap();
+        for j in 0..hn {
+            gwy[j] = dy * last.h[j];
+        }
+        let mut dh: Vec<f64> = self.wy.w.iter().map(|w| dy * w).collect();
+        let mut dc = vec![0.0; hn];
+
+        for cache in caches.iter().rev() {
+            let mut dh_prev = vec![0.0; hn];
+            let mut dc_prev = vec![0.0; hn];
+            for j in 0..hn {
+                let dcj = dc[j] + dh[j] * cache.o[j] * (1.0 - cache.tanh_c[j] * cache.tanh_c[j]);
+                let d_o = dh[j] * cache.tanh_c[j];
+                let d_i = dcj * cache.g[j];
+                let d_f = dcj * cache.c_prev[j];
+                let d_g = dcj * cache.i[j];
+                let dz = [
+                    d_i * cache.i[j] * (1.0 - cache.i[j]),
+                    d_f * cache.f[j] * (1.0 - cache.f[j]),
+                    d_g * (1.0 - cache.g[j] * cache.g[j]),
+                    d_o * cache.o[j] * (1.0 - cache.o[j]),
+                ];
+                for (gate, &dzv) in dz.iter().enumerate() {
+                    let row = gate * hn + j;
+                    let base = row * cols;
+                    gb[row] += dzv;
+                    gw[base] += dzv * cache.x;
+                    for k2 in 0..hn {
+                        gw[base + 1 + k2] += dzv * cache.h_prev[k2];
+                        dh_prev[k2] += dzv * self.w.w[base + 1 + k2];
+                    }
+                }
+                dc_prev[j] = dcj * cache.f[j];
+            }
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+
+        // Global-norm clipping across all parameter groups.
+        let norm: f64 = gw
+            .iter()
+            .chain(&gb)
+            .chain(&gwy)
+            .chain(&gby)
+            .map(|g| g * g)
+            .sum::<f64>()
+            .sqrt();
+        let scale = if norm > self.cfg.clip { self.cfg.clip / norm } else { 1.0 };
+        if scale < 1.0 {
+            for g in gw.iter_mut().chain(&mut gb).chain(&mut gwy) {
+                *g *= scale;
+            }
+        }
+        let gby = [gby[0] * scale];
+
+        self.adam_t += 1;
+        let (lr, t) = (self.cfg.lr, self.adam_t);
+        self.w.step(&gw, lr, t);
+        self.b.step(&gb, lr, t);
+        self.wy.step(&gwy, lr, t);
+        self.by.step(&gby, lr, t);
+        (y - target) * (y - target)
+    }
+
+    /// Train on a window series (raw percent values) — the same epochs,
+    /// shuffle stream, and sample order as `Lstm::train`.
+    pub fn train(&mut self, train_windows: &[f64]) {
+        let l = self.cfg.lookback;
+        if train_windows.len() <= l {
+            return; // nothing to learn from
+        }
+        let xs: Vec<f64> = train_windows.iter().map(|v| v / 100.0).collect();
+        let mut order: Vec<usize> = (0..xs.len() - l).step_by(self.cfg.stride).collect();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
+        for _ in 0..self.cfg.epochs {
+            // Fisher-Yates shuffle for sample order.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &s in &order {
+                self.train_one(&xs[s..s + l], xs[s + l]);
+            }
+        }
+    }
+
+    /// One-step-ahead forecasts over `test_windows` given the training
+    /// history (both in raw percent), rolling origin.
+    pub fn forecast_online(&self, train_windows: &[f64], test_windows: &[f64]) -> Vec<f64> {
+        let l = self.cfg.lookback;
+        let mut history: Vec<f64> = train_windows.iter().map(|v| v / 100.0).collect();
+        assert!(
+            history.len() >= l,
+            "history shorter than lookback ({} < {l})",
+            history.len()
+        );
+        let mut out = Vec::with_capacity(test_windows.len());
+        for &actual in test_windows {
+            let seq = &history[history.len() - l..];
+            let y = self.predict_normalized(seq);
+            out.push((y * 100.0).clamp(0.0, 100.0));
+            history.push(actual / 100.0);
+        }
+        out
+    }
+}

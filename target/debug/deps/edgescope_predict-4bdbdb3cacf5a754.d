@@ -1,13 +1,15 @@
-/root/repo/target/debug/deps/edgescope_predict-4bdbdb3cacf5a754.d: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/window.rs Cargo.toml
+/root/repo/target/debug/deps/edgescope_predict-4bdbdb3cacf5a754.d: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/gemm.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/reference.rs crates/predict/src/window.rs Cargo.toml
 
-/root/repo/target/debug/deps/libedgescope_predict-4bdbdb3cacf5a754.rmeta: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/window.rs Cargo.toml
+/root/repo/target/debug/deps/libedgescope_predict-4bdbdb3cacf5a754.rmeta: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/gemm.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/reference.rs crates/predict/src/window.rs Cargo.toml
 
 crates/predict/src/lib.rs:
 crates/predict/src/baselines.rs:
 crates/predict/src/eval.rs:
+crates/predict/src/gemm.rs:
 crates/predict/src/holt_winters.rs:
 crates/predict/src/lstm.rs:
 crates/predict/src/pool.rs:
+crates/predict/src/reference.rs:
 crates/predict/src/window.rs:
 Cargo.toml:
 

@@ -1,11 +1,13 @@
-/root/repo/target/debug/deps/edgescope_predict-f11b140783517cd0.d: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/window.rs
+/root/repo/target/debug/deps/edgescope_predict-f11b140783517cd0.d: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/gemm.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/reference.rs crates/predict/src/window.rs
 
-/root/repo/target/debug/deps/edgescope_predict-f11b140783517cd0: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/window.rs
+/root/repo/target/debug/deps/edgescope_predict-f11b140783517cd0: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/gemm.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/reference.rs crates/predict/src/window.rs
 
 crates/predict/src/lib.rs:
 crates/predict/src/baselines.rs:
 crates/predict/src/eval.rs:
+crates/predict/src/gemm.rs:
 crates/predict/src/holt_winters.rs:
 crates/predict/src/lstm.rs:
 crates/predict/src/pool.rs:
+crates/predict/src/reference.rs:
 crates/predict/src/window.rs:

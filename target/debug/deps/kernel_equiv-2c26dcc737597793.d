@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equiv-2c26dcc737597793.d: crates/predict/tests/kernel_equiv.rs
+
+/root/repo/target/debug/deps/kernel_equiv-2c26dcc737597793: crates/predict/tests/kernel_equiv.rs
+
+crates/predict/tests/kernel_equiv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_equiv-4ebd71ab48b8e007.d: crates/predict/tests/kernel_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_equiv-4ebd71ab48b8e007.rmeta: crates/predict/tests/kernel_equiv.rs Cargo.toml
+
+crates/predict/tests/kernel_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-40993c3090ba5eba.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-40993c3090ba5eba: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/billing-cdf9a6b8df7ad392.d: crates/bench/benches/billing.rs
+
+/root/repo/target/release/deps/billing-cdf9a6b8df7ad392: crates/bench/benches/billing.rs
+
+crates/bench/benches/billing.rs:

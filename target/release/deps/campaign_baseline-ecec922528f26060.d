@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_baseline-ecec922528f26060.d: crates/bench/src/bin/campaign-baseline.rs
+
+/root/repo/target/release/deps/campaign_baseline-ecec922528f26060: crates/bench/src/bin/campaign-baseline.rs
+
+crates/bench/src/bin/campaign-baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edgescope_bench-e772798e2aeee978.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/edgescope_bench-e772798e2aeee978: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

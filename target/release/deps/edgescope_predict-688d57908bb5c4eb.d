@@ -1,13 +1,15 @@
-/root/repo/target/release/deps/edgescope_predict-688d57908bb5c4eb.d: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/window.rs
+/root/repo/target/release/deps/edgescope_predict-688d57908bb5c4eb.d: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/gemm.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/reference.rs crates/predict/src/window.rs
 
-/root/repo/target/release/deps/libedgescope_predict-688d57908bb5c4eb.rlib: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/window.rs
+/root/repo/target/release/deps/libedgescope_predict-688d57908bb5c4eb.rlib: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/gemm.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/reference.rs crates/predict/src/window.rs
 
-/root/repo/target/release/deps/libedgescope_predict-688d57908bb5c4eb.rmeta: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/window.rs
+/root/repo/target/release/deps/libedgescope_predict-688d57908bb5c4eb.rmeta: crates/predict/src/lib.rs crates/predict/src/baselines.rs crates/predict/src/eval.rs crates/predict/src/gemm.rs crates/predict/src/holt_winters.rs crates/predict/src/lstm.rs crates/predict/src/pool.rs crates/predict/src/reference.rs crates/predict/src/window.rs
 
 crates/predict/src/lib.rs:
 crates/predict/src/baselines.rs:
 crates/predict/src/eval.rs:
+crates/predict/src/gemm.rs:
 crates/predict/src/holt_winters.rs:
 crates/predict/src/lstm.rs:
 crates/predict/src/pool.rs:
+crates/predict/src/reference.rs:
 crates/predict/src/window.rs:

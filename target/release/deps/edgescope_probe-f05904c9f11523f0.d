@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/edgescope_probe-f05904c9f11523f0.d: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+/root/repo/target/release/deps/edgescope_probe-f05904c9f11523f0: crates/probe/src/lib.rs crates/probe/src/intersite.rs crates/probe/src/latency.rs crates/probe/src/pool.rs crates/probe/src/records.rs crates/probe/src/stream.rs crates/probe/src/throughput.rs crates/probe/src/user.rs
+
+crates/probe/src/lib.rs:
+crates/probe/src/intersite.rs:
+crates/probe/src/latency.rs:
+crates/probe/src/pool.rs:
+crates/probe/src/records.rs:
+crates/probe/src/stream.rs:
+crates/probe/src/throughput.rs:
+crates/probe/src/user.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/executor-6dce26e897d072b9.d: crates/bench/benches/executor.rs
+
+/root/repo/target/release/deps/executor-6dce26e897d072b9: crates/bench/benches/executor.rs
+
+crates/bench/benches/executor.rs:

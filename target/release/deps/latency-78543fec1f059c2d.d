@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/latency-78543fec1f059c2d.d: crates/bench/benches/latency.rs
+
+/root/repo/target/release/deps/latency-78543fec1f059c2d: crates/bench/benches/latency.rs
+
+crates/bench/benches/latency.rs:

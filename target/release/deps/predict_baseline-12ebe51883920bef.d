@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predict_baseline-12ebe51883920bef.d: crates/bench/src/bin/predict-baseline.rs
+
+/root/repo/target/release/deps/predict_baseline-12ebe51883920bef: crates/bench/src/bin/predict-baseline.rs
+
+crates/bench/src/bin/predict-baseline.rs:

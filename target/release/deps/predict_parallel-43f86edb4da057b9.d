@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predict_parallel-43f86edb4da057b9.d: crates/bench/benches/predict_parallel.rs
+
+/root/repo/target/release/deps/predict_parallel-43f86edb4da057b9: crates/bench/benches/predict_parallel.rs
+
+crates/bench/benches/predict_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prediction-5c437fed7f7f6988.d: crates/bench/benches/prediction.rs
+
+/root/repo/target/release/deps/prediction-5c437fed7f7f6988: crates/bench/benches/prediction.rs
+
+crates/bench/benches/prediction.rs:

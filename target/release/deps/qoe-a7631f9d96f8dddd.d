@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qoe-a7631f9d96f8dddd.d: crates/bench/benches/qoe.rs
+
+/root/repo/target/release/deps/qoe-a7631f9d96f8dddd: crates/bench/benches/qoe.rs
+
+crates/bench/benches/qoe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale_bench-67394a6c8d5fd40c.d: crates/bench/src/bin/scale-bench.rs
+
+/root/repo/target/release/deps/scale_bench-67394a6c8d5fd40c: crates/bench/src/bin/scale-bench.rs
+
+crates/bench/src/bin/scale-bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/study_parallel-2957dea88dd953b9.d: crates/bench/benches/study_parallel.rs
+
+/root/repo/target/release/deps/study_parallel-2957dea88dd953b9: crates/bench/benches/study_parallel.rs
+
+crates/bench/benches/study_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/study_parallel_baseline-9307b1fd47336250.d: crates/bench/src/bin/study-parallel-baseline.rs
+
+/root/repo/target/release/deps/study_parallel_baseline-9307b1fd47336250: crates/bench/src/bin/study-parallel-baseline.rs
+
+crates/bench/src/bin/study-parallel-baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-7e10d13795044231.d: crates/bench/benches/throughput.rs
+
+/root/repo/target/release/deps/throughput-7e10d13795044231: crates/bench/benches/throughput.rs
+
+crates/bench/benches/throughput.rs:

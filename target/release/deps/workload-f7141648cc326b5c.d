@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload-f7141648cc326b5c.d: crates/bench/benches/workload.rs
+
+/root/repo/target/release/deps/workload-f7141648cc326b5c: crates/bench/benches/workload.rs
+
+crates/bench/benches/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/band_check-56bba6b246c3e23a.d: examples/band_check.rs
+
+/root/repo/target/release/examples/band_check-56bba6b246c3e23a: examples/band_check.rs
+
+examples/band_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gen_golden-4abe04c8f21a0959.d: crates/predict/examples/gen_golden.rs
+
+/root/repo/target/release/examples/gen_golden-4abe04c8f21a0959: crates/predict/examples/gen_golden.rs
+
+crates/predict/examples/gen_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quantile_check-8369b120843d69dc.d: crates/net/examples/quantile_check.rs
+
+/root/repo/target/release/examples/quantile_check-8369b120843d69dc: crates/net/examples/quantile_check.rs
+
+crates/net/examples/quantile_check.rs:
