@@ -45,7 +45,7 @@ use crate::experiments::{
     latency_study::LatencyStudy, prediction_study::PredictionStudy,
     streaming_study::StreamingStudy, workload_study::WorkloadStudy,
 };
-use crate::experiments::{ExperimentSpec, Studies};
+use crate::experiments::{ExperimentSpec, Needs, Studies};
 use crate::report::ExperimentReport;
 use crate::scenario::Scenario;
 use edgescope_analysis::table::Table;
@@ -279,6 +279,98 @@ pub struct Execution {
     pub metrics: CampaignMetrics,
 }
 
+/// The product of [`build_studies`]: the studies themselves plus the
+/// `study:*` stage timings and per-stage metric scopes recorded while
+/// building them. (Not `Clone`/`Debug`: the studies hold whole
+/// campaigns and trained models — services share one build behind an
+/// `Arc` instead of copying it.)
+pub struct StudyBuild {
+    /// The built studies — fields populated per the requested [`Needs`]
+    /// (prediction implies workload).
+    pub studies: Studies,
+    /// One `study:*` timing entry per build, in build order.
+    pub stages: Vec<TimedEntry>,
+    /// One `study:*` metric scope per build, matching `stages`.
+    pub stage_metrics: Vec<ScopeMetrics>,
+}
+
+/// Build the shared studies `needs` asks for, each data-parallel at
+/// `jobs` width inside its own [`obs::scoped`] metric scope, with
+/// `study.start`/`study.close` span events on `emitter`.
+///
+/// This is the library entry point behind both [`Executor::run`] (which
+/// derives `needs` from its specs) and long-running services such as
+/// `edgescope-serve` (which build the studies once at startup and then
+/// answer queries against them). Studies build one after the other,
+/// each data-parallel inside itself at the full `jobs` width —
+/// intra-study fan-out keeps every worker busy for the whole build,
+/// which beats overlapping two serial builds (the latency study
+/// dominates and would leave the other workers idle once the workload
+/// build finishes). The prediction study trains on the trace pair, so
+/// `needs.prediction` forces a workload build even when `needs.workload`
+/// is unset.
+pub fn build_studies(
+    scenario: &Scenario,
+    needs: Needs,
+    jobs: usize,
+    emitter: &Emitter,
+) -> StudyBuild {
+    let jobs = jobs.max(1);
+    let mut stages: Vec<TimedEntry> = Vec::new();
+    let mut stage_metrics: Vec<ScopeMetrics> = Vec::new();
+    let mut studies = Studies::none();
+
+    // One study build: span events, wall-clock, and its own metric scope.
+    fn stage<T>(
+        name: &'static str,
+        jobs: usize,
+        emitter: &Emitter,
+        stages: &mut Vec<TimedEntry>,
+        stage_metrics: &mut Vec<ScopeMetrics>,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        emitter.event("executor", "study.start", &[("study", Field::Str(name))]);
+        let t = Instant::now();
+        let (study, set) = obs::scoped(f);
+        let ms = elapsed_ms(t);
+        emitter.event(
+            "executor",
+            "study.close",
+            &[("study", Field::Str(name)), ("wall_ms", Field::F64(ms))],
+        );
+        stages.push(TimedEntry { name: format!("study:{name}"), workers: jobs, wall_ms: ms });
+        stage_metrics.push(ScopeMetrics { name: format!("study:{name}"), kind: "stage", set });
+        study
+    }
+
+    if needs.latency {
+        studies.latency =
+            Some(stage("latency", jobs, emitter, &mut stages, &mut stage_metrics, || {
+                LatencyStudy::run_jobs(scenario, jobs)
+            }));
+    }
+    if needs.workload || needs.prediction {
+        studies.workload =
+            Some(stage("workload", jobs, emitter, &mut stages, &mut stage_metrics, || {
+                WorkloadStudy::run_jobs(scenario, jobs)
+            }));
+    }
+    if needs.prediction {
+        let workload = studies.workload.as_ref().expect("workload study built above");
+        studies.prediction =
+            Some(stage("prediction", jobs, emitter, &mut stages, &mut stage_metrics, || {
+                PredictionStudy::run_jobs(scenario, workload, jobs)
+            }));
+    }
+    if needs.streaming {
+        studies.streaming =
+            Some(stage("streaming", jobs, emitter, &mut stages, &mut stage_metrics, || {
+                StreamingStudy::run_jobs(scenario, jobs)
+            }));
+    }
+    StudyBuild { studies, stages, stage_metrics }
+}
+
 /// Runs a set of [`ExperimentSpec`]s over a pool of scoped worker
 /// threads.
 #[derive(Debug, Clone, Copy)]
@@ -332,12 +424,6 @@ impl Executor {
     pub fn run(&self, scenario: &Scenario, specs: Vec<ExperimentSpec>) -> Execution {
         let t0 = Instant::now();
         let emitter = Emitter::new(self.log);
-        let need_latency = specs.iter().any(|s| s.needs.latency);
-        let need_prediction = specs.iter().any(|s| s.needs.prediction);
-        // The prediction study trains on the trace pair, so it forces a
-        // workload build even when no spec reads the traces directly.
-        let need_workload = specs.iter().any(|s| s.needs.workload) || need_prediction;
-        let need_streaming = specs.iter().any(|s| s.needs.streaming);
         emitter.event(
             "executor",
             "campaign.start",
@@ -348,104 +434,8 @@ impl Executor {
             ],
         );
 
-        // Studies build one after the other, each data-parallel inside
-        // itself at the full `--jobs` width — intra-study fan-out keeps
-        // every worker busy for the whole build, which beats overlapping
-        // two serial builds (the latency study dominates and would leave
-        // the other workers idle once the workload build finishes).
-        let mut stages = Vec::new();
-        let mut stage_metrics: Vec<ScopeMetrics> = Vec::new();
-        let mut studies = Studies::none();
-        if need_latency {
-            emitter.event("executor", "study.start", &[("study", Field::Str("latency"))]);
-            let t = Instant::now();
-            let (study, set) = obs::scoped(|| LatencyStudy::run_jobs(scenario, self.jobs));
-            let ms = elapsed_ms(t);
-            emitter.event(
-                "executor",
-                "study.close",
-                &[("study", Field::Str("latency")), ("wall_ms", Field::F64(ms))],
-            );
-            studies.latency = Some(study);
-            stages.push(TimedEntry {
-                name: "study:latency".into(),
-                workers: self.jobs,
-                wall_ms: ms,
-            });
-            stage_metrics.push(ScopeMetrics {
-                name: "study:latency".into(),
-                kind: "stage",
-                set,
-            });
-        }
-        if need_workload {
-            emitter.event("executor", "study.start", &[("study", Field::Str("workload"))]);
-            let t = Instant::now();
-            let (study, set) = obs::scoped(|| WorkloadStudy::run_jobs(scenario, self.jobs));
-            let ms = elapsed_ms(t);
-            emitter.event(
-                "executor",
-                "study.close",
-                &[("study", Field::Str("workload")), ("wall_ms", Field::F64(ms))],
-            );
-            studies.workload = Some(study);
-            stages.push(TimedEntry {
-                name: "study:workload".into(),
-                workers: self.jobs,
-                wall_ms: ms,
-            });
-            stage_metrics.push(ScopeMetrics {
-                name: "study:workload".into(),
-                kind: "stage",
-                set,
-            });
-        }
-        if need_prediction {
-            emitter.event("executor", "study.start", &[("study", Field::Str("prediction"))]);
-            let t = Instant::now();
-            let workload = studies.workload.as_ref().expect("workload study built above");
-            let (study, set) =
-                obs::scoped(|| PredictionStudy::run_jobs(scenario, workload, self.jobs));
-            let ms = elapsed_ms(t);
-            emitter.event(
-                "executor",
-                "study.close",
-                &[("study", Field::Str("prediction")), ("wall_ms", Field::F64(ms))],
-            );
-            studies.prediction = Some(study);
-            stages.push(TimedEntry {
-                name: "study:prediction".into(),
-                workers: self.jobs,
-                wall_ms: ms,
-            });
-            stage_metrics.push(ScopeMetrics {
-                name: "study:prediction".into(),
-                kind: "stage",
-                set,
-            });
-        }
-        if need_streaming {
-            emitter.event("executor", "study.start", &[("study", Field::Str("streaming"))]);
-            let t = Instant::now();
-            let (study, set) = obs::scoped(|| StreamingStudy::run_jobs(scenario, self.jobs));
-            let ms = elapsed_ms(t);
-            emitter.event(
-                "executor",
-                "study.close",
-                &[("study", Field::Str("streaming")), ("wall_ms", Field::F64(ms))],
-            );
-            studies.streaming = Some(study);
-            stages.push(TimedEntry {
-                name: "study:streaming".into(),
-                workers: self.jobs,
-                wall_ms: ms,
-            });
-            stage_metrics.push(ScopeMetrics {
-                name: "study:streaming".into(),
-                kind: "stage",
-                set,
-            });
-        }
+        let StudyBuild { studies, stages, stage_metrics } =
+            build_studies(scenario, Needs::of_specs(&specs), self.jobs, &emitter);
 
         let n = specs.len();
         let workers = self.jobs.min(n.max(1));

@@ -121,6 +121,53 @@ pub struct Needs {
     pub streaming: bool,
 }
 
+impl Needs {
+    /// The study names accepted by [`Needs::parse_list`].
+    pub const NAMES: [&'static str; 4] = ["latency", "workload", "prediction", "streaming"];
+
+    /// Field-wise OR of two requirement sets.
+    pub fn union(self, other: Needs) -> Needs {
+        Needs {
+            latency: self.latency || other.latency,
+            workload: self.workload || other.workload,
+            prediction: self.prediction || other.prediction,
+            streaming: self.streaming || other.streaming,
+        }
+    }
+
+    /// The union of every spec's declared needs — what
+    /// [`crate::executor::build_studies`] must build for a campaign over
+    /// `specs`.
+    pub fn of_specs(specs: &[ExperimentSpec]) -> Needs {
+        specs.iter().fold(Needs::default(), |acc, s| acc.union(s.needs))
+    }
+
+    /// Parse a comma-separated study list (`"latency,workload"`,
+    /// case-insensitive, whitespace-tolerant) into a requirement set —
+    /// the `--studies` vocabulary of `edgescope-serve`. Unknown names
+    /// error with the valid list; an empty string is an empty set.
+    pub fn parse_list(list: &str) -> Result<Needs, String> {
+        let mut needs = Needs::default();
+        for raw in list.split(',') {
+            let name = raw.trim().to_ascii_lowercase();
+            match name.as_str() {
+                "" => {}
+                "latency" => needs.latency = true,
+                "workload" => needs.workload = true,
+                "prediction" => needs.prediction = true,
+                "streaming" => needs.streaming = true,
+                other => {
+                    return Err(format!(
+                        "unknown study '{other}'; valid studies: {}",
+                        Needs::NAMES.join(", ")
+                    ))
+                }
+            }
+        }
+        Ok(needs)
+    }
+}
+
 /// No shared study.
 const NONE: Needs = Needs { latency: false, workload: false, prediction: false, streaming: false };
 /// The latency campaign only.

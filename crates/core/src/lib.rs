@@ -39,7 +39,9 @@ pub mod experiments;
 pub mod report;
 pub mod scenario;
 
-pub use executor::{CampaignMetrics, Execution, Executor, ScopeMetrics, Timings};
+pub use executor::{
+    build_studies, CampaignMetrics, Execution, Executor, ScopeMetrics, StudyBuild, Timings,
+};
 pub use report::ExperimentReport;
 pub use scenario::{Scale, Scenario};
 

@@ -61,6 +61,12 @@ pub mod domains {
     /// index; separate from [`ENGINE_STEP`] so adding probes never
     /// shifts demand draws).
     pub const ENGINE_PROBE: u32 = 10;
+    /// `edgescope-serve` query requests (one stream per client-supplied
+    /// `seed` query parameter, a `u32`). Deriving the request RNG from
+    /// `(scenario seed, SERVE, client seed)` — never from worker or
+    /// connection state — is what makes identical requests byte-identical
+    /// across worker counts and interleavings.
+    pub const SERVE: u32 = 11;
 }
 
 /// SplitMix64 finalizer: a bijective avalanche over `u64`.

@@ -133,8 +133,11 @@ pub fn evaluate(demand: &[f64], cfg: &ElasticConfig) -> ElasticOutcome {
     let faas_cost_window = core_seconds * cfg.faas_core_second;
     let faas_cost_month = faas_cost_window / window_months.max(1e-9);
 
-    // Weighted p95 latency.
-    latencies.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    // Weighted p95 latency. `total_cmp` orders NaN after +inf (the
+    // `analysis::stats` convention) so a NaN latency can never panic the
+    // sort — it sinks to the tail where the 95th-percentile scan stops
+    // before reaching it in any sane window.
+    latencies.sort_by(|a, b| a.1.total_cmp(&b.1));
     let total_w: f64 = latencies.iter().map(|(w, _)| w).sum();
     let mut acc = 0.0;
     let mut faas_p95 = cfg.warm_ms;

@@ -24,7 +24,6 @@ pub enum SchedulingPolicy {
     LoadAware(usize),
     /// Among sites within `budget_ms` of extra one-way delay vs. the
     /// nearest, pick the least-loaded (the paper's proposal).
-    /// Among sites within `budget_ms` of extra one-way delay vs. the nearest, pick the least-loaded (the paper's proposal).
     DelayConstrained {
         /// Maximum extra one-way delay accepted vs. the nearest site.
         budget_ms: f64,
@@ -87,6 +86,12 @@ impl CandidateTable {
     /// `loads` is the current per-site load (same index space as the
     /// deployment), `rr_state` a per-city round-robin cursor. Returns the
     /// site index and the extra one-way delay vs. the nearest site.
+    ///
+    /// Load comparisons use [`f64::total_cmp`] (the same documented NaN
+    /// convention as `edgescope_analysis::stats`): a NaN load orders
+    /// after `+inf`, so a site whose load tracker was corrupted can never
+    /// win a least-loaded selection — and the comparator can never panic
+    /// mid-request.
     pub fn pick(
         &self,
         policy: SchedulingPolicy,
@@ -107,7 +112,7 @@ impl CandidateTable {
                 let k = k.clamp(1, cands.len());
                 let best = cands[..k]
                     .iter()
-                    .min_by(|a, b| loads[a.0].partial_cmp(&loads[b.0]).unwrap())
+                    .min_by(|a, b| loads[a.0].total_cmp(&loads[b.0]))
                     .unwrap();
                 (best.0, best.2)
             }
@@ -115,7 +120,7 @@ impl CandidateTable {
                 let best = cands
                     .iter()
                     .filter(|c| c.2 <= budget_ms)
-                    .min_by(|a, b| loads[a.0].partial_cmp(&loads[b.0]).unwrap())
+                    .min_by(|a, b| loads[a.0].total_cmp(&loads[b.0]))
                     .unwrap_or(&cands[0]);
                 (best.0, best.2)
             }
@@ -159,7 +164,7 @@ impl CandidateTable {
                 let k = k.clamp(1, cands.len());
                 let best = cands[..k]
                     .iter()
-                    .min_by(|a, b| loads[a.0].partial_cmp(&loads[b.0]).unwrap())
+                    .min_by(|a, b| loads[a.0].total_cmp(&loads[b.0]))
                     .unwrap();
                 (best.0, best.2)
             }
@@ -167,7 +172,7 @@ impl CandidateTable {
                 let best = cands
                     .iter()
                     .filter(|c| c.2 <= budget_ms)
-                    .min_by(|a, b| loads[a.0].partial_cmp(&loads[b.0]).unwrap())
+                    .min_by(|a, b| loads[a.0].total_cmp(&loads[b.0]))
                     .unwrap_or(&cands[0]);
                 (best.0, best.2)
             }

@@ -44,6 +44,6 @@ pub mod simulate;
 pub use elastic::{ElasticConfig, ElasticOutcome};
 pub use gslb::SchedulingPolicy;
 pub use migration::{MigrationConfig, MigrationOutcome};
-pub use predictive::{placement_study, ForecastPolicy, PredictiveOutcome};
+pub use predictive::{placement_outcomes, placement_study, ForecastPolicy, PredictiveOutcome};
 pub use requests::DemandModel;
 pub use simulate::{simulate_day, SimOutcome};

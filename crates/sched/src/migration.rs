@@ -103,6 +103,16 @@ fn intersite_rtt_ms(a: GeoPoint, b: GeoPoint) -> f64 {
     3.0 + 0.021 * a.distance_km(&b)
 }
 
+/// Demote NaN below every real load so it loses a `max_by` selection
+/// (totalOrder alone would rank NaN above +inf and hand it the win).
+fn nan_loses(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        x
+    }
+}
+
 /// Greedy threshold rebalancer: repeatedly move the largest movable VM
 /// from the hottest site to the coolest reachable site, while it improves
 /// balance.
@@ -127,14 +137,19 @@ pub fn rebalance(
         if cv <= cfg.target_cv {
             break;
         }
-        // Hottest and coolest-reachable site.
+        // Hottest and coolest-reachable site. Comparisons use
+        // `total_cmp` so a NaN load can never panic the rebalancer;
+        // under totalOrder NaN sorts *after* +inf, which already keeps
+        // it out of the `min_by` below, but would let it win the hot
+        // `max_by` — `nan_loses` demotes it to -inf so a poisoned site
+        // is never chosen as the migration source either.
         let hot = (0..n_sites)
-            .max_by(|&a, &b| site_load[a].partial_cmp(&site_load[b]).unwrap())
+            .max_by(|&a, &b| nan_loses(site_load[a]).total_cmp(&nan_loses(site_load[b])))
             .unwrap();
         let cold = (0..n_sites)
             .filter(|&s| s != hot)
             .filter(|&s| intersite_rtt_ms(site_geo[hot], site_geo[s]) <= cfg.max_intersite_rtt_ms)
-            .min_by(|&a, &b| site_load[a].partial_cmp(&site_load[b]).unwrap());
+            .min_by(|&a, &b| site_load[a].total_cmp(&site_load[b]));
         let Some(cold) = cold else { break };
         let gap = site_load[hot] - site_load[cold];
         if gap <= 0.0 {
@@ -146,7 +161,9 @@ pub fn rebalance(
             .iter()
             .enumerate()
             .filter(|(_, v)| v.site == hot && v.load > 0.0 && v.load < gap)
-            .max_by(|a, b| a.1.load.partial_cmp(&b.1.load).unwrap())
+            // The filter above already drops NaN loads (both comparisons
+            // are false for NaN), so plain total_cmp suffices here.
+            .max_by(|a, b| a.1.load.total_cmp(&b.1.load))
             .map(|(i, _)| i);
         let Some(vm_idx) = candidate else { break };
 

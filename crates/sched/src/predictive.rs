@@ -82,10 +82,22 @@ pub struct PredictiveOutcome {
     pub overloaded_hours: usize,
     /// Peak site load observed on the evaluation day.
     pub peak_load: f64,
+    /// Extra VM load the policy placed on each site (deployment order).
+    /// Exposed so callers — and the NaN regression tests — can check
+    /// *where* the VMs went, not just the aggregate overload.
+    pub placed_per_site: Vec<f64>,
 }
 
 /// Per-site capacity (percentage points of load).
 const CAPACITY: f64 = 100.0;
+
+/// Peak of a series, propagating NaN. `f64::max` silently *ignores* NaN
+/// operands, which would launder a poisoned forecast into a score of
+/// 0.0 — the most attractive site. Keeping the NaN makes the site lose
+/// the `total_cmp` minimum instead (NaN orders after +inf).
+fn nan_propagating_peak<I: Iterator<Item = f64>>(xs: I) -> f64 {
+    xs.fold(0.0, |acc, x| if acc.is_nan() || x.is_nan() { f64::NAN } else { acc.max(x) })
+}
 
 /// Generate one site's hourly background load: a diurnal bump with a
 /// per-site phase and level.
@@ -134,26 +146,48 @@ pub fn placement_study(rng: &mut impl Rng, cfg: &PredictiveConfig) -> Vec<Predic
         })
         .collect();
 
+    placement_outcomes(&sites, &forecasts, t_place, cfg)
+}
+
+/// Place and evaluate every policy on an explicit world: per-site hourly
+/// series (history plus evaluation day), per-site day-ahead forecasts,
+/// and the placement instant `t_place` (hour index into the series).
+///
+/// This is the injectable core behind [`placement_study`] — tests drive
+/// edge cases (a NaN forecast or load sample) straight into the
+/// selection loop through it. Site scores compare with
+/// [`f64::total_cmp`], under which NaN orders after `+inf`: a site whose
+/// score degenerates to NaN can never win the minimum, and the
+/// comparator can never panic.
+pub fn placement_outcomes(
+    sites: &[Vec<f64>],
+    forecasts: &[Vec<f64>],
+    t_place: usize,
+    cfg: &PredictiveConfig,
+) -> Vec<PredictiveOutcome> {
+    assert_eq!(sites.len(), forecasts.len(), "one forecast per site");
+    assert!(sites.len() >= 2, "need sites to choose between");
+    let n_sites = sites.len();
     [ForecastPolicy::Reactive, ForecastPolicy::HoltWinters, ForecastPolicy::Oracle]
         .into_iter()
         .map(|policy| {
             // Extra VM load placed per site.
-            let mut placed = vec![0.0f64; cfg.n_sites];
+            let mut placed = vec![0.0f64; n_sites];
             for _ in 0..cfg.n_vms {
                 let score = |s: usize| -> f64 {
                     let future = &sites[s][t_place..t_place + 24 - cfg.placement_hour % 24];
                     match policy {
                         ForecastPolicy::Reactive => sites[s][t_place] + placed[s],
                         ForecastPolicy::HoltWinters => {
-                            forecasts[s].iter().cloned().fold(0.0, f64::max) + placed[s]
+                            nan_propagating_peak(forecasts[s].iter().cloned()) + placed[s]
                         }
                         ForecastPolicy::Oracle => {
-                            future.iter().cloned().fold(0.0, f64::max) + placed[s]
+                            nan_propagating_peak(future.iter().cloned()) + placed[s]
                         }
                     }
                 };
-                let best = (0..cfg.n_sites)
-                    .min_by(|&a, &b| score(a).partial_cmp(&score(b)).unwrap())
+                let best = (0..n_sites)
+                    .min_by(|&a, &b| score(a).total_cmp(&score(b)))
                     .unwrap();
                 placed[best] += cfg.vm_load;
             }
@@ -176,6 +210,7 @@ pub fn placement_study(rng: &mut impl Rng, cfg: &PredictiveConfig) -> Vec<Predic
                 overload_unit_hours: overload,
                 overloaded_hours: hours,
                 peak_load: peak,
+                placed_per_site: placed,
             }
         })
         .collect()

@@ -102,7 +102,7 @@ mod tests {
     fn geo_skew_present() {
         let m = model(3);
         let mut rates: Vec<f64> = m.cities.iter().map(|c| c.peak_rps).collect();
-        rates.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        rates.sort_by(|a, b| b.total_cmp(a));
         // Top city clearly above the median city.
         assert!(rates[0] > 5.0 * rates[rates.len() / 2]);
     }

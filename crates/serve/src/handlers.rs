@@ -1,0 +1,428 @@
+//! Endpoint handlers: the what-if query vocabulary over the cached
+//! studies.
+//!
+//! Every handler is a pure function of `(state, request)` — the request
+//! RNG comes from the client's `seed` parameter through
+//! [`ServeState::request_rng`], never from clocks, sockets, or worker
+//! identity — so identical requests produce byte-identical bodies at any
+//! pool width. Each request runs inside its own [`edgescope_obs`] scope;
+//! the merged per-endpoint sets are exported by `/metrics`.
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::query::Params;
+use crate::state::ServeState;
+use edgescope_analysis::stats::{mean, median, percentile};
+use edgescope_billing::bill::{cloud_network_month, nep_network_month, p95_daily_peak};
+use edgescope_billing::tariff::{CloudTariff, NepTariff, NetworkModel, Operator};
+use edgescope_core::experiments::registry_for;
+use edgescope_core::experiments::table6::QOE_DISTANCES_KM;
+use edgescope_net::access::AccessNetwork;
+use edgescope_net::path::TargetClass;
+use edgescope_net::rng::log_normal_mean_cv;
+use edgescope_obs as obs;
+use edgescope_platform::deployment::Deployment;
+use edgescope_platform::geo_china::{City, CITIES};
+use edgescope_qoe::gaming::GamingPipeline;
+use edgescope_qoe::link::LinkProfile;
+use edgescope_qoe::streaming::StreamingPipeline;
+use edgescope_sched::gslb::SchedulingPolicy;
+use edgescope_sched::requests::DemandModel;
+use edgescope_sched::simulate::{simulate_day, SimConfig};
+use edgescope_trace::app::AppCategory;
+
+/// Per-endpoint tags under [`crate::state::TAG`] — one RNG namespace
+/// per endpoint, so equal client seeds never alias across endpoints.
+const QOE_TAG: u64 = 0x01;
+const BILL_TAG: u64 = 0x02;
+const PLACEMENT_TAG: u64 = 0x03;
+
+/// QoE samples drawn per pipeline (the paper extracts 50 per test; 25
+/// keeps a request comfortably under a millisecond of compute).
+const QOE_SAMPLES: usize = 25;
+
+/// Histogram bounds for `serve.response_bytes` (fixed, so merges are
+/// deterministic).
+const RESPONSE_BYTES_BOUNDS: [f64; 6] = [256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0];
+
+type HandlerResult = Result<Json, (u16, String)>;
+
+/// Route one request to its endpoint. Unknown paths are a structured
+/// 404 listing the routing table.
+pub fn route(state: &ServeState, req: &Request) -> Response {
+    match req.path.as_str() {
+        "/healthz" => instrumented(state, "healthz", req, |state, p, _| healthz(state, p)),
+        "/experiments" => {
+            instrumented(state, "experiments", req, |state, p, _| experiments(state, p))
+        }
+        "/metrics" => instrumented(state, "metrics", req, |state, p, _| metrics(state, p)),
+        "/query/qoe" => instrumented(state, "qoe", req, qoe),
+        "/query/bill" => instrumented(state, "bill", req, bill),
+        "/query/placement" => instrumented(state, "placement", req, placement),
+        other => {
+            let body = Json::obj(vec![
+                ("error", Json::from(format!("unknown path '{other}'"))),
+                (
+                    "paths",
+                    Json::arr(
+                        ["/healthz", "/experiments", "/metrics", "/query/qoe", "/query/bill",
+                         "/query/placement"]
+                            .iter()
+                            .map(|p| Json::from(*p))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            Response::json(404, body.render())
+        }
+    }
+}
+
+/// Wrap a handler in query parsing, an `obs` scope, and the standard
+/// request counters. The scope's metric set is merged into the
+/// endpoint's slot after the response is built.
+fn instrumented(
+    state: &ServeState,
+    endpoint: &'static str,
+    req: &Request,
+    handler: fn(&ServeState, &Params, u32) -> HandlerResult,
+) -> Response {
+    let (response, set) = obs::scoped(|| {
+        obs::counter_inc("serve.requests");
+        let outcome = Params::parse(&req.query)
+            .map_err(|e| (400, e))
+            .and_then(|params| params.seed().map_err(|e| (400, e)).map(|s| (params, s)))
+            .and_then(|(params, seed)| handler(state, &params, seed));
+        let response = match outcome {
+            Ok(body) => Response::json(200, body.render()),
+            Err((status, message)) => {
+                obs::counter_inc("serve.errors");
+                Response::json(status, Json::obj(vec![("error", Json::from(message))]).render())
+            }
+        };
+        obs::observe("serve.response_bytes", response.body.len() as f64, &RESPONSE_BYTES_BOUNDS);
+        response
+    });
+    state.record(endpoint, &set);
+    response
+}
+
+fn find_city(name: &str) -> Result<&'static City, (u16, String)> {
+    CITIES.iter().find(|c| c.name.eq_ignore_ascii_case(name)).ok_or_else(|| {
+        (400, format!("unknown city '{name}' (the gazetteer covers {} cities)", CITIES.len()))
+    })
+}
+
+fn parse_access(p: &Params) -> Result<AccessNetwork, (u16, String)> {
+    match p.get("access").unwrap_or("wifi").to_ascii_lowercase().as_str() {
+        "wifi" => Ok(AccessNetwork::Wifi),
+        "lte" | "4g" => Ok(AccessNetwork::Lte),
+        "5g" | "fiveg" => Ok(AccessNetwork::FiveG),
+        "wired" => Ok(AccessNetwork::Wired),
+        other => Err((400, format!("unknown access '{other}'; valid: wifi, lte, 5g, wired"))),
+    }
+}
+
+fn parse_deployment<'a>(
+    state: &'a ServeState,
+    p: &Params,
+) -> Result<(&'static str, &'a Deployment, TargetClass), (u16, String)> {
+    match p.get("deployment").unwrap_or("nep").to_ascii_lowercase().as_str() {
+        "nep" => Ok(("nep", &state.scenario.nep, TargetClass::EdgeSite)),
+        "alicloud" => Ok(("alicloud", &state.scenario.alicloud, TargetClass::CloudRegion)),
+        "huawei" => Ok(("huawei", &state.scenario.huawei, TargetClass::CloudRegion)),
+        other => {
+            Err((400, format!("unknown deployment '{other}'; valid: nep, alicloud, huawei")))
+        }
+    }
+}
+
+fn parse_app(p: &Params) -> Result<AppCategory, (u16, String)> {
+    const APPS: [AppCategory; 10] = [
+        AppCategory::LiveStreaming,
+        AppCategory::OnlineEducation,
+        AppCategory::ContentDelivery,
+        AppCategory::VideoConference,
+        AppCategory::VideoSurveillance,
+        AppCategory::CloudGaming,
+        AppCategory::WebService,
+        AppCategory::DevTest,
+        AppCategory::BatchCompute,
+        AppCategory::Database,
+    ];
+    let raw = p.get("app").unwrap_or("live-streaming");
+    APPS.iter().find(|c| c.label().eq_ignore_ascii_case(raw)).copied().ok_or_else(|| {
+        let valid: Vec<&str> = APPS.iter().map(|c| c.label()).collect();
+        (400, format!("unknown app '{raw}'; valid: {}", valid.join(", ")))
+    })
+}
+
+fn parse_operator(p: &Params) -> Result<(&'static str, Operator), (u16, String)> {
+    match p.get("operator").unwrap_or("telecom").to_ascii_lowercase().as_str() {
+        "telecom" => Ok(("telecom", Operator::Telecom)),
+        "cmcc" | "mobile" => Ok(("cmcc", Operator::Cmcc)),
+        other => Err((400, format!("unknown operator '{other}'; valid: telecom, cmcc"))),
+    }
+}
+
+/// `GET /healthz` — liveness plus the world's identity. Deliberately
+/// free of worker counts, uptime, and clocks: two replicas of the same
+/// `(scale, seed, studies)` answer byte-identically.
+fn healthz(state: &ServeState, p: &Params) -> HandlerResult {
+    p.check_allowed(&[]).map_err(|e| (400, e))?;
+    Ok(Json::obj(vec![
+        ("status", Json::from("ok")),
+        ("scale", Json::from(state.scenario.scale.name())),
+        ("seed", Json::U64(state.scenario.seed)),
+        (
+            "studies",
+            Json::obj(vec![
+                ("latency", Json::Bool(state.studies.latency.is_some())),
+                ("workload", Json::Bool(state.studies.workload.is_some())),
+                ("prediction", Json::Bool(state.studies.prediction.is_some())),
+                ("streaming", Json::Bool(state.studies.streaming.is_some())),
+            ]),
+        ),
+    ]))
+}
+
+/// `GET /experiments` — the registry as a routing table: every
+/// experiment name, its study needs, and whether this server instance
+/// could run it with the studies it holds.
+fn experiments(state: &ServeState, p: &Params) -> HandlerResult {
+    p.check_allowed(&[]).map_err(|e| (400, e))?;
+    let specs = registry_for(state.scenario.scale);
+    let rows = specs
+        .iter()
+        .map(|s| {
+            let ready = (!s.needs.latency || state.studies.latency.is_some())
+                && (!s.needs.workload || state.studies.workload.is_some())
+                && (!s.needs.prediction || state.studies.prediction.is_some())
+                && (!s.needs.streaming || state.studies.streaming.is_some());
+            Json::obj(vec![
+                ("name", Json::from(s.name)),
+                (
+                    "needs",
+                    Json::obj(vec![
+                        ("latency", Json::Bool(s.needs.latency)),
+                        ("workload", Json::Bool(s.needs.workload)),
+                        ("prediction", Json::Bool(s.needs.prediction)),
+                        ("streaming", Json::Bool(s.needs.streaming)),
+                    ]),
+                ),
+                ("ready", Json::Bool(ready)),
+            ])
+        })
+        .collect();
+    Ok(Json::obj(vec![
+        ("scale", Json::from(state.scenario.scale.name())),
+        ("experiments", Json::arr(rows)),
+    ]))
+}
+
+/// `GET /metrics` — the per-endpoint metric export. Inherently
+/// stateful (it reflects the requests served so far), but a pure
+/// function of the request-history multiset: no clocks, no worker ids.
+fn metrics(state: &ServeState, p: &Params) -> HandlerResult {
+    p.check_allowed(&[]).map_err(|e| (400, e))?;
+    Ok(state.metrics_json())
+}
+
+/// `GET /query/qoe?city=..&access=..&deployment=..&seed=..` — what QoE
+/// does a user in `city` see against `deployment`? Answers with the
+/// link profile to the nearest site, cloud-gaming and video-streaming
+/// pipeline latencies, and (when the latency study is loaded) the
+/// crowd's median nearest-edge RTT on the same access network as
+/// context.
+fn qoe(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
+    p.check_allowed(&["city", "access", "deployment", "seed"]).map_err(|e| (400, e))?;
+    let city = find_city(p.required("city").map_err(|e| (400, e))?)?;
+    let access = parse_access(p)?;
+    let (dep_label, deployment, class) = parse_deployment(state, p)?;
+    let mut rng = state.request_rng(QOE_TAG, seed);
+    obs::counter_inc("serve.qoe_queries");
+
+    let sites = deployment.sites_by_distance(city.geo());
+    let (site_idx, distance_km) = sites[0];
+    // The same 12-draw averaged path RTT the Table 6 links use.
+    let n = 12;
+    let rtt_ms = (0..n)
+        .map(|_| {
+            state.scenario.path_model.ue_path(&mut rng, access, distance_km, class).mean_rtt_ms()
+        })
+        .sum::<f64>()
+        / n as f64;
+    let link = LinkProfile {
+        rtt_ms,
+        jitter_cv: 0.04,
+        uplink_mbps: access.sample_uplink_mbps(&mut rng),
+        downlink_mbps: access.sample_downlink_mbps(&mut rng),
+    };
+    let (gaming_samples, _) = GamingPipeline::paper_default().run(&mut rng, &link, QOE_SAMPLES);
+    let (streaming_samples, _) =
+        StreamingPipeline::paper_default().run(&mut rng, &link, QOE_SAMPLES);
+
+    // Crowd context: the latency study's median nearest-edge RTT on the
+    // same access network, when that study is loaded.
+    let crowd = match &state.studies.latency {
+        Some(study) => {
+            let rtts: Vec<f64> = study
+                .campaign
+                .users_on(access)
+                .iter()
+                .filter_map(|u| u.kth_edge(0).map(|t| t.mean_rtt_ms))
+                .collect();
+            if rtts.is_empty() { Json::Null } else { Json::F64(median(&rtts)) }
+        }
+        None => Json::Null,
+    };
+
+    Ok(Json::obj(vec![
+        ("city", Json::from(city.name)),
+        ("province", Json::from(city.province)),
+        ("deployment", Json::from(dep_label)),
+        ("access", Json::from(access.label())),
+        ("seed", Json::U64(seed as u64)),
+        (
+            "nearest_site",
+            Json::obj(vec![
+                ("index", Json::U64(site_idx as u64)),
+                ("distance_km", Json::F64(distance_km)),
+            ]),
+        ),
+        (
+            "link",
+            Json::obj(vec![
+                ("rtt_ms", Json::F64(link.rtt_ms)),
+                ("uplink_mbps", Json::F64(link.uplink_mbps)),
+                ("downlink_mbps", Json::F64(link.downlink_mbps)),
+            ]),
+        ),
+        (
+            "gaming",
+            Json::obj(vec![
+                ("mean_ms", Json::F64(mean(&gaming_samples))),
+                ("p95_ms", Json::F64(percentile(&gaming_samples, 95.0))),
+                ("samples", Json::U64(QOE_SAMPLES as u64)),
+            ]),
+        ),
+        (
+            "streaming",
+            Json::obj(vec![
+                ("mean_ms", Json::F64(mean(&streaming_samples))),
+                ("p95_ms", Json::F64(percentile(&streaming_samples, 95.0))),
+                ("samples", Json::U64(QOE_SAMPLES as u64)),
+            ]),
+        ),
+        ("crowd_median_nearest_edge_rtt_ms", crowd),
+        ("edge_vm_distance_km", Json::F64(QOE_DISTANCES_KM[0].0)),
+    ]))
+}
+
+/// Days of synthetic demand the bill handler integrates.
+const BILL_DAYS: usize = 30;
+/// Sampling interval of the synthetic series (minutes).
+const BILL_INTERVAL_MIN: usize = 15;
+
+/// `GET /query/bill?city=..&app=..&peak_mbps=..&operator=..&seed=..` —
+/// what would a month of this app's traffic cost at `city` on NEP vs
+/// the two virtual clouds under all three network billing models?
+/// Synthesizes a 30-day bandwidth series from the app's diurnal profile
+/// (peak level `peak_mbps`, log-normal noise from the request RNG) and
+/// bills the identical series everywhere.
+fn bill(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
+    p.check_allowed(&["city", "app", "peak_mbps", "operator", "seed"]).map_err(|e| (400, e))?;
+    let city = find_city(p.required("city").map_err(|e| (400, e))?)?;
+    let app = parse_app(p)?;
+    let (op_label, operator) = parse_operator(p)?;
+    let peak_mbps = p.positive_f64("peak_mbps", 500.0).map_err(|e| (400, e))?;
+    let mut rng = state.request_rng(BILL_TAG, seed);
+    obs::counter_inc("serve.bill_queries");
+
+    let per_day = 24 * 60 / BILL_INTERVAL_MIN;
+    let series: Vec<f64> = (0..BILL_DAYS * per_day)
+        .map(|i| {
+            let h = ((i % per_day) * BILL_INTERVAL_MIN) as f64 / 60.0;
+            let level = peak_mbps * app.diurnal(h);
+            log_normal_mean_cv(&mut rng, level.max(1e-6), 0.08)
+        })
+        .collect();
+
+    let nep_month =
+        nep_network_month(&NepTariff::paper(), &series, BILL_INTERVAL_MIN, city.name, operator);
+    let mut clouds = Vec::new();
+    let mut cheapest_cloud = f64::INFINITY;
+    for (platform, tariff) in
+        [("alicloud", CloudTariff::alicloud()), ("huawei", CloudTariff::huawei())]
+    {
+        for model in NetworkModel::ALL {
+            let cost = cloud_network_month(&tariff, model, &series, BILL_INTERVAL_MIN);
+            cheapest_cloud = cheapest_cloud.min(cost);
+            clouds.push(Json::obj(vec![
+                ("platform", Json::from(platform)),
+                ("model", Json::from(model.label())),
+                ("month_rmb", Json::F64(cost)),
+            ]));
+        }
+    }
+
+    Ok(Json::obj(vec![
+        ("city", Json::from(city.name)),
+        ("app", Json::from(app.label())),
+        ("operator", Json::from(op_label)),
+        ("peak_mbps", Json::F64(peak_mbps)),
+        ("seed", Json::U64(seed as u64)),
+        ("p95_daily_peak_mbps", Json::F64(p95_daily_peak(&series, BILL_INTERVAL_MIN))),
+        ("nep_month_rmb", Json::F64(nep_month)),
+        ("cloud_months_rmb", Json::arr(clouds)),
+        // > 1 ⇒ the cheapest cloud model still costs more than NEP —
+        // the Table 3 "edge is cheaper on network" direction.
+        ("cheapest_cloud_over_nep", Json::F64(cheapest_cloud / nep_month.max(1e-9))),
+    ]))
+}
+
+/// `GET /query/placement?policy=..&k=..&budget_ms=..&total_rps=..&app=..&seed=..`
+/// — run one simulated day of geo-skewed demand against the NEP
+/// deployment under a scheduling policy and report the delay/balance
+/// outcome (the `ext_gslb` experiment as an interactive query).
+fn placement(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
+    p.check_allowed(&["policy", "k", "budget_ms", "total_rps", "app", "seed"])
+        .map_err(|e| (400, e))?;
+    let k = p.positive_usize("k", 8).map_err(|e| (400, e))?;
+    let budget_ms = p.positive_f64("budget_ms", 5.0).map_err(|e| (400, e))?;
+    let total_rps = p.positive_f64("total_rps", 120_000.0).map_err(|e| (400, e))?;
+    let app = parse_app(p)?;
+    let policy = match p.get("policy").unwrap_or("nearest").to_ascii_lowercase().as_str() {
+        "nearest" => SchedulingPolicy::NearestSite,
+        "round-robin" | "round_robin" => SchedulingPolicy::RoundRobinNearest(k),
+        "load-aware" | "load_aware" => SchedulingPolicy::LoadAware(k),
+        "delay-constrained" | "delay_constrained" => {
+            SchedulingPolicy::DelayConstrained { budget_ms }
+        }
+        other => {
+            return Err((
+                400,
+                format!(
+                    "unknown policy '{other}'; valid: nearest, round-robin, load-aware, \
+                     delay-constrained"
+                ),
+            ))
+        }
+    };
+    let mut rng = state.request_rng(PLACEMENT_TAG, seed);
+    obs::counter_inc("serve.placement_queries");
+
+    let demand = DemandModel::new(&mut rng, app, total_rps, 0.8);
+    let out = simulate_day(&mut rng, &state.scenario.nep, &demand, policy, &SimConfig::default());
+    Ok(Json::obj(vec![
+        ("policy", Json::from(out.policy_label.clone())),
+        ("app", Json::from(app.label())),
+        ("total_peak_rps", Json::F64(total_rps)),
+        ("seed", Json::U64(seed as u64)),
+        ("mean_delay_ms", Json::F64(out.mean_delay_ms)),
+        ("p95_delay_ms", Json::F64(out.p95_delay_ms)),
+        ("load_cv", Json::F64(out.load_cv)),
+        ("peak_utilization", Json::F64(out.peak_utilization)),
+        ("overload_fraction", Json::F64(out.overload_fraction)),
+    ]))
+}

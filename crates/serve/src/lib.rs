@@ -1,0 +1,51 @@
+//! `edgescope-serve`: an always-on what-if query service over the
+//! cached EdgeScope studies.
+//!
+//! The paper's measurements answer point-in-time questions ("what
+//! RTT/QoE/bill does a user in city X see against deployment Y?"); this
+//! crate turns the batch reproducer into a long-running service that
+//! answers them on demand. At startup it builds the shared studies once
+//! through [`edgescope_core::executor::build_studies`] (the same stages
+//! `reproduce` runs, at a configured scale and `--jobs` width), wraps
+//! them in an immutable [`state::ServeState`], and serves GET queries on
+//! a std-only threaded HTTP server ([`http::Server`]).
+//!
+//! # Endpoints
+//!
+//! | path | answers |
+//! |---|---|
+//! | `/healthz` | world identity: scale, seed, loaded studies |
+//! | `/experiments` | the registry as a routing table (needs + readiness) |
+//! | `/metrics` | per-endpoint counters/histograms, schema `edgescope-serve-metrics/1` |
+//! | `/query/qoe` | link profile + gaming/streaming QoE for a city/access/deployment |
+//! | `/query/bill` | a month of an app's traffic billed on NEP vs both clouds × 3 models |
+//! | `/query/placement` | one simulated day under a scheduling policy (delay vs balance) |
+//!
+//! # Determinism contract, extended to the request path
+//!
+//! Every request derives its RNG from the query-string `seed` via the
+//! existing `stream_seed`/`entity_tag` scheme under the
+//! [`edgescope_net::rng::domains::SERVE`] domain (see
+//! [`state::ServeState::request_rng`]). Responses contain no clocks,
+//! worker counts, or connection state, and the JSON writer
+//! ([`json::Json`]) renders keys in fixed order — so identical
+//! `(path, query)` requests return **byte-identical** bodies regardless
+//! of the worker-pool width or how requests interleave. `/metrics` is
+//! the one deliberately stateful endpoint: a pure function of the
+//! multiset of requests served so far.
+//!
+//! Unknown cities, policies, or parameters return structured JSON 4xx
+//! errors — a malformed request must never panic a worker, which is
+//! also why the `sched` comparators this crate routes queries through
+//! were swept to `f64::total_cmp` in the same change.
+
+#![warn(missing_docs)]
+
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod query;
+pub mod state;
+
+pub use http::{Request, Response, Server};
+pub use state::ServeState;

@@ -1,0 +1,153 @@
+//! Query-string parsing with strict validation.
+//!
+//! Every handler declares the exact parameter names it accepts; anything
+//! else is a structured 400 (never a silent ignore, never a panic).
+//! Numeric parameters additionally reject NaN/inf/out-of-range at the
+//! boundary, so no request can smuggle a NaN into a policy comparator —
+//! the serve-layer complement of the `total_cmp` sweep in
+//! `edgescope-sched`.
+
+/// Parsed query parameters, in query-string order.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    pairs: Vec<(String, String)>,
+}
+
+/// Percent-decode one query component (`+` decodes to space).
+fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => return Err(format!("invalid percent-escape in '{s}'")),
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("query component '{s}' is not UTF-8"))
+}
+
+impl Params {
+    /// Parse a raw query string (the part after `?`, possibly empty).
+    pub fn parse(query: &str) -> Result<Params, String> {
+        let mut pairs = Vec::new();
+        for part in query.split('&') {
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part.split_once('=').unwrap_or((part, ""));
+            pairs.push((percent_decode(k)?, percent_decode(v)?));
+        }
+        Ok(Params { pairs })
+    }
+
+    /// Reject any parameter name outside `allowed` — unknown params are
+    /// a client error, not noise to ignore.
+    pub fn check_allowed(&self, allowed: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.pairs {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown parameter '{k}'; allowed parameters: {}",
+                    allowed.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The last value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// A required string parameter.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required parameter '{name}'"))
+    }
+
+    /// The `seed` parameter as a `u32` (default 0). The client seed
+    /// becomes the entity index of the request's RNG stream, and the
+    /// `entity_tag` layout carries 32 index bits — so wider values are a
+    /// 400, not a silent truncation.
+    pub fn seed(&self) -> Result<u32, String> {
+        match self.get("seed") {
+            None => Ok(0),
+            Some(raw) => raw
+                .parse::<u32>()
+                .map_err(|_| format!("seed '{raw}' must be an unsigned 32-bit integer")),
+        }
+    }
+
+    /// An optional strictly-positive finite float (NaN/inf/0/negative
+    /// are all 400s).
+    pub fn positive_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => {
+                let x: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("{name} '{raw}' must be a number"))?;
+                if !x.is_finite() || x <= 0.0 {
+                    return Err(format!("{name} '{raw}' must be finite and > 0"));
+                }
+                Ok(x)
+            }
+        }
+    }
+
+    /// An optional positive integer.
+    pub fn positive_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => {
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("{name} '{raw}' must be a positive integer"))?;
+                if n == 0 {
+                    return Err(format!("{name} must be >= 1"));
+                }
+                Ok(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_decodes() {
+        let p = Params::parse("city=Hong%20Kong&access=wifi&seed=7").unwrap();
+        assert_eq!(p.get("city"), Some("Hong Kong"));
+        assert_eq!(p.seed().unwrap(), 7);
+        assert!(p.check_allowed(&["city", "access", "seed"]).is_ok());
+        assert!(p.check_allowed(&["city", "seed"]).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_and_overflow() {
+        let p = Params::parse("peak_mbps=NaN&seed=4294967296").unwrap();
+        assert!(p.positive_f64("peak_mbps", 1.0).is_err());
+        assert!(p.seed().is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared immutable service state plus the per-endpoint metric store.
+
+use crate::json::Json;
+use edgescope_core::experiments::Studies;
+use edgescope_core::scenario::Scenario;
+use edgescope_net::rng::{domains, entity_tag, stream_rng};
+use edgescope_obs::MetricSet;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+
+/// The serve crate's tag namespace under the scenario seed. Each
+/// endpoint derives its request streams from `TAG ^ endpoint_tag`, so
+/// `/query/qoe?seed=1` and `/query/bill?seed=1` never share a stream.
+pub const TAG: u64 = 0x5e4e_0000;
+
+/// Everything a request handler may read: the scenario, the studies
+/// built at startup, and nothing mutable except the metric store.
+///
+/// Handlers never mutate the scenario or studies — the only shared
+/// mutable state is the per-endpoint [`MetricSet`] map, which feeds
+/// `/metrics` and deliberately carries no wall-clock or worker-count
+/// data (response bodies must be byte-identical across deployments).
+pub struct ServeState {
+    /// The world every query runs against.
+    pub scenario: Scenario,
+    /// Studies built once at startup; unset fields answer `null`.
+    pub studies: Studies,
+    metrics: Mutex<BTreeMap<&'static str, MetricSet>>,
+}
+
+impl ServeState {
+    /// Wrap a scenario and its pre-built studies.
+    pub fn new(scenario: Scenario, studies: Studies) -> Self {
+        ServeState { scenario, studies, metrics: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The deterministic RNG for one request: derived from the world
+    /// seed, the endpoint's tag, and the client's `seed` query parameter
+    /// via the same `stream_seed`/`entity_tag` scheme the campaigns use
+    /// (domain [`domains::SERVE`]). Identical `(endpoint, seed)` ⇒
+    /// identical stream, independent of workers or arrival order.
+    pub fn request_rng(&self, endpoint_tag: u64, client_seed: u32) -> StdRng {
+        let base = self.scenario.stream_seed(TAG ^ endpoint_tag);
+        stream_rng(base, entity_tag(domains::SERVE, client_seed as usize))
+    }
+
+    /// Merge one finished request scope into the endpoint's metric set.
+    pub fn record(&self, endpoint: &'static str, set: &MetricSet) {
+        self.metrics.lock().entry(endpoint).or_default().merge(set);
+    }
+
+    /// The `/metrics` document: per-endpoint counter/histogram rows in
+    /// deterministic (BTreeMap) order, schema `edgescope-serve-metrics/1`.
+    pub fn metrics_json(&self) -> Json {
+        let map = self.metrics.lock();
+        let endpoints = map
+            .iter()
+            .map(|(endpoint, set)| {
+                let rows = set
+                    .rows()
+                    .into_iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::from(r.name)),
+                            ("kind", Json::from(r.kind)),
+                            ("value", Json::Raw(r.value.to_json())),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("endpoint", Json::from(*endpoint)),
+                    ("metrics", Json::arr(rows)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::from("edgescope-serve-metrics/1")),
+            ("endpoints", Json::arr(endpoints)),
+        ])
+    }
+}

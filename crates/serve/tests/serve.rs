@@ -1,0 +1,200 @@
+//! End-to-end determinism and error-handling tests for the serve layer.
+//!
+//! The contract under test (ISSUE 9): identical `(path, query, seed)`
+//! requests return **byte-identical** bodies — same request twice,
+//! under concurrent load from many client threads, and across servers
+//! with different worker-pool widths — and malformed requests return
+//! structured JSON 4xx errors, never a panic.
+
+use edgescope_core::experiments::Studies;
+use edgescope_core::scenario::{Scale, Scenario};
+use edgescope_serve::http::Server;
+use edgescope_serve::state::ServeState;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+/// One shared world for every test server (studies deliberately empty:
+/// handlers must answer with `null` context, not panic).
+fn state() -> Arc<ServeState> {
+    Arc::new(ServeState::new(Scenario::new(Scale::Quick, 7), Studies::none()))
+}
+
+fn spawn(workers: usize, state: Arc<ServeState>) -> SocketAddr {
+    Server::bind("127.0.0.1:0", workers, state).unwrap().spawn().unwrap()
+}
+
+/// Minimal HTTP client: one GET, returns (status, body).
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 =
+        head.split_whitespace().nth(1).expect("status code").parse().expect("numeric status");
+    (status, body.to_string())
+}
+
+fn raw_request(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 =
+        head.split_whitespace().nth(1).expect("status code").parse().expect("numeric status");
+    (status, body.to_string())
+}
+
+const QUERIES: [&str; 4] = [
+    "/query/qoe?city=Shanghai&access=wifi&deployment=nep&seed=11",
+    "/query/qoe?city=Chengdu&access=5g&deployment=alicloud&seed=3",
+    "/query/bill?city=Guangzhou&app=live-streaming&peak_mbps=800&operator=cmcc&seed=5",
+    "/query/placement?policy=delay-constrained&budget_ms=5&seed=2",
+];
+
+#[test]
+fn same_request_twice_is_byte_identical() {
+    let addr = spawn(2, state());
+    for q in QUERIES {
+        let (s1, b1) = get(addr, q);
+        let (s2, b2) = get(addr, q);
+        assert_eq!(s1, 200, "{q}: {b1}");
+        assert_eq!(s2, 200);
+        assert_eq!(b1, b2, "{q} not byte-identical across repeats");
+    }
+}
+
+#[test]
+fn byte_identical_across_worker_counts() {
+    // Two servers over the SAME world, one single-threaded, one wide:
+    // the pool width must be invisible in every body.
+    let st = state();
+    let addr1 = spawn(1, Arc::clone(&st));
+    let addr4 = spawn(4, st);
+    for q in QUERIES {
+        let (_, b1) = get(addr1, q);
+        let (_, b4) = get(addr4, q);
+        assert_eq!(b1, b4, "{q} differs between 1-worker and 4-worker servers");
+    }
+    let (_, h1) = get(addr1, "/healthz");
+    let (_, h4) = get(addr4, "/healthz");
+    assert_eq!(h1, h4, "/healthz must not leak worker count");
+}
+
+#[test]
+fn byte_identical_under_concurrent_load() {
+    let addr = spawn(4, state());
+    let mut baselines = Vec::new();
+    for q in QUERIES {
+        baselines.push(get(addr, q).1);
+    }
+    // 16 client threads hammer all endpoints at once, interleaving
+    // requests with *different* seeds between the probed ones.
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            thread::spawn(move || {
+                let q = QUERIES[i % QUERIES.len()];
+                let noise = format!("/query/qoe?city=Beijing&seed={}", 100 + i);
+                let (_, _) = get(addr, &noise);
+                let (status, body) = get(addr, q);
+                (q, status, body)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (q, status, body) = h.join().unwrap();
+        assert_eq!(status, 200);
+        let idx = QUERIES.iter().position(|x| *x == q).unwrap();
+        assert_eq!(body, baselines[idx], "{q} changed under concurrent load");
+    }
+    // And again after the burst: still the same bytes.
+    for (q, baseline) in QUERIES.iter().zip(&baselines) {
+        assert_eq!(&get(addr, q).1, baseline, "{q} changed after load");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Sanity check that the seed actually feeds the RNG — otherwise the
+    // identity tests above would pass vacuously.
+    let addr = spawn(2, state());
+    let (_, a) = get(addr, "/query/qoe?city=Shanghai&seed=1");
+    let (_, b) = get(addr, "/query/qoe?city=Shanghai&seed=2");
+    assert_ne!(a, b, "distinct seeds must produce distinct draws");
+}
+
+#[test]
+fn unknown_inputs_are_structured_4xx() {
+    let addr = spawn(2, state());
+    let cases = [
+        ("/query/qoe?city=Atlantis", 400),
+        ("/query/qoe", 400),                                  // missing city
+        ("/query/qoe?city=Shanghai&access=6g", 400),          // unknown access
+        ("/query/qoe?city=Shanghai&deployment=aws", 400),     // unknown deployment
+        ("/query/qoe?city=Shanghai&seed=4294967296", 400),    // u32 overflow
+        ("/query/qoe?city=Shanghai&flavor=spicy", 400),       // unknown param
+        ("/query/bill?city=Shanghai&peak_mbps=NaN", 400),     // NaN at the boundary
+        ("/query/bill?city=Shanghai&peak_mbps=-3", 400),
+        ("/query/bill?city=Shanghai&app=mining", 400),        // unknown app
+        ("/query/placement?policy=teleport", 400),            // unknown policy
+        ("/query/placement?k=0", 400),
+        ("/nope", 404),
+    ];
+    for (target, expect) in cases {
+        let (status, body) = get(addr, target);
+        assert_eq!(status, expect, "{target}: {body}");
+        assert!(body.starts_with('{') && body.contains("\"error\""), "{target}: {body}");
+    }
+    // Non-GET methods are a 405, also structured.
+    let (status, body) =
+        raw_request(addr, "POST /query/qoe HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 405, "{body}");
+    assert!(body.contains("\"error\""));
+}
+
+#[test]
+fn health_experiments_and_metrics_answer() {
+    let addr = spawn(2, state());
+    let (status, health) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"scale\":\"quick\""), "{health}");
+    assert!(health.contains("\"latency\":false"), "{health}");
+
+    let (status, experiments) = get(addr, "/experiments");
+    assert_eq!(status, 200);
+    assert!(experiments.contains("\"name\":\"fig2a\""), "{experiments}");
+    // fig2a needs the latency study, which this server did not build.
+    assert!(
+        experiments
+            .contains("{\"name\":\"fig2a\",\"needs\":{\"latency\":true,\"workload\":false,\"prediction\":false,\"streaming\":false},\"ready\":false}"),
+        "{experiments}"
+    );
+
+    // Serve a couple of queries, then check they are accounted for.
+    let _ = get(addr, "/query/qoe?city=Shanghai&seed=1");
+    let _ = get(addr, "/query/qoe?city=Wuhan&seed=9");
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"schema\":\"edgescope-serve-metrics/1\""), "{metrics}");
+    assert!(metrics.contains("\"endpoint\":\"qoe\""), "{metrics}");
+    assert!(metrics.contains("serve.requests"), "{metrics}");
+    assert!(metrics.contains("serve.response_bytes"), "{metrics}");
+}
+
+#[test]
+fn query_bodies_do_not_depend_on_metrics_state() {
+    // /metrics is stateful by design; the /query endpoints must not be.
+    let addr = spawn(2, state());
+    let q = "/query/bill?city=Shenzhen&seed=8";
+    let (_, before) = get(addr, q);
+    for i in 0..10 {
+        let _ = get(addr, &format!("/query/placement?policy=load-aware&seed={i}"));
+        let _ = get(addr, "/metrics");
+    }
+    let (_, after) = get(addr, q);
+    assert_eq!(before, after);
+}
