@@ -8,7 +8,7 @@
 //!   divided by the 5th-percentile of the mean CPU usage of all its VMs");
 //! * the P95/P5 sales-rate skew across sites (§4.1, "about 5× higher").
 
-use crate::stats::percentile;
+use crate::stats::{peak_max, peak_min, percentile};
 
 /// Values divided by the smallest positive value, the normalization used by
 /// Fig. 11. Non-positive entries are first clamped to `floor` so the ratio
@@ -16,7 +16,7 @@ use crate::stats::percentile;
 pub fn normalized_to_min(xs: &[f64], floor: f64) -> Vec<f64> {
     assert!(floor > 0.0, "floor must be positive");
     let clamped: Vec<f64> = xs.iter().map(|&x| x.max(floor)).collect();
-    let min = clamped.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min = peak_min(&clamped);
     clamped.iter().map(|&x| x / min).collect()
 }
 
@@ -24,7 +24,7 @@ pub fn normalized_to_min(xs: &[f64], floor: f64) -> Vec<f64> {
 /// largest entry of [`normalized_to_min`].
 pub fn gap_max_min(xs: &[f64], floor: f64) -> f64 {
     let norm = normalized_to_min(xs, floor);
-    norm.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    peak_max(&norm)
 }
 
 /// P95/P5 gap ratio (Fig. 13a / §4.1 definition). Values are clamped to

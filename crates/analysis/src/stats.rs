@@ -93,6 +93,44 @@ pub fn median(xs: &[f64]) -> f64 {
     percentile(xs, 50.0)
 }
 
+/// NaN-propagating peak (maximum) of a series. Returns 0.0 for an empty
+/// slice (the campaigns treat "no samples" as a zero peak — the same
+/// neutral choice as [`mean`]).
+///
+/// This is the shared replacement for the `fold(0.0, f64::max)` idiom:
+/// `f64::max` silently *ignores* a NaN operand, so a poisoned sample
+/// would launder into a peak of 0.0 (e.g. a free billing month, or a
+/// zero-cost placement score). Here a NaN input yields a NaN peak, which
+/// surfaces loudly downstream instead of vanishing.
+pub fn peak_max(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().fold(f64::NEG_INFINITY, |acc, &x| {
+        if acc.is_nan() || x.is_nan() {
+            f64::NAN
+        } else {
+            acc.max(x)
+        }
+    })
+}
+
+/// NaN-propagating minimum of a series — the counterpart of
+/// [`peak_max`] for trough levels (e.g. the weekly-drift denominator of
+/// fig12). Returns 0.0 for an empty slice.
+pub fn peak_min(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().fold(f64::INFINITY, |acc, &x| {
+        if acc.is_nan() || x.is_nan() {
+            f64::NAN
+        } else {
+            acc.min(x)
+        }
+    })
+}
+
 /// Root-mean-square error between predictions and observations.
 ///
 /// Panics if the slices differ in length or are empty.
@@ -262,6 +300,32 @@ mod tests {
     fn median_odd_even() {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn peak_helpers_basic() {
+        assert_eq!(peak_max(&[1.0, 5.0, 2.0]), 5.0);
+        assert_eq!(peak_min(&[1.0, 5.0, 2.0]), 1.0);
+        assert_eq!(peak_max(&[]), 0.0);
+        assert_eq!(peak_min(&[]), 0.0);
+        // Unlike fold(0.0, f64::max), an all-negative series keeps its
+        // true (negative) peak instead of inventing a 0.0.
+        assert_eq!(peak_max(&[-3.0, -1.0, -2.0]), -1.0);
+        assert_eq!(peak_min(&[-3.0, -1.0, -2.0]), -3.0);
+    }
+
+    #[test]
+    fn peak_helpers_propagate_nan() {
+        // Regression for the fold(0.0, f64::max) laundering bug: f64::max
+        // drops NaN operands, so a poisoned sample used to yield peak 0.0
+        // (silent underbilling in `billing::bill`). The shared helpers
+        // must propagate instead.
+        assert!(peak_max(&[1.0, f64::NAN, 3.0]).is_nan());
+        assert!(peak_min(&[1.0, f64::NAN, 3.0]).is_nan());
+        assert!(peak_max(&[f64::NAN]).is_nan());
+        // ±inf are ordinary values, not NaN.
+        assert_eq!(peak_max(&[1.0, f64::INFINITY]), f64::INFINITY);
+        assert_eq!(peak_min(&[1.0, f64::NEG_INFINITY]), f64::NEG_INFINITY);
     }
 
     #[test]

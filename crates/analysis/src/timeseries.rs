@@ -19,7 +19,7 @@ pub fn resample_mean(xs: &[f64], window: usize) -> Vec<f64> {
 pub fn resample_max(xs: &[f64], window: usize) -> Vec<f64> {
     assert!(window > 0, "window must be positive");
     xs.chunks(window)
-        .map(|c| c.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+        .map(crate::stats::peak_max)
         .collect()
 }
 

@@ -76,7 +76,7 @@ fn bench_placement_weights(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(BENCH_SEED);
                 let mut dep = Deployment::nep_custom(&mut rng, 20, 10, 30);
-                let policy = PlacementPolicy { w_sales: ws, w_util: wu };
+                let policy = PlacementPolicy { w_sales: ws, w_util: wu, w_coloc: 0.0 };
                 let mut next = 0;
                 let req = SubscriptionRequest {
                     scope: Scope::Anywhere,

@@ -12,27 +12,39 @@
 //! reserved (peak) level.
 
 use crate::tariff::{CloudTariff, NepTariff, NetworkModel, Operator};
+use edgescope_analysis::stats::peak_max;
 
 /// Daily peak levels of a bandwidth series (`interval_min` minutes per
 /// sample). A trailing partial day still yields a peak.
+///
+/// Peaks come from the NaN-propagating
+/// [`edgescope_analysis::stats::peak_max`]: a NaN bandwidth sample makes
+/// that day's peak NaN instead of silently flattening it to 0.0 (the old
+/// `fold(0.0, f64::max)` idiom ignored NaN operands — a poisoned day
+/// billed as a free one).
 pub fn daily_peaks(bw_mbps: &[f64], interval_min: usize) -> Vec<f64> {
     assert!(interval_min > 0, "interval must be positive");
     let per_day = (24 * 60 / interval_min).max(1);
-    bw_mbps
-        .chunks(per_day)
-        .map(|day| day.iter().cloned().fold(0.0f64, f64::max))
-        .collect()
+    bw_mbps.chunks(per_day).map(peak_max).collect()
 }
 
 /// The 95th-percentile daily peak — with ~30 daily peaks this is the
 /// 4th-highest, matching Appendix D's description. Returns 0 for an empty
 /// series.
+///
+/// A NaN anywhere in the series yields a NaN charge level: under the IEEE
+/// total order a NaN daily peak would rank *above* +inf and land in the
+/// silently-dropped top days, re-laundering the poison the peak fold just
+/// preserved — so the NaN is propagated explicitly instead.
 pub fn p95_daily_peak(bw_mbps: &[f64], interval_min: usize) -> f64 {
     let mut peaks = daily_peaks(bw_mbps, interval_min);
     if peaks.is_empty() {
         return 0.0;
     }
-    peaks.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    if peaks.iter().any(|p| p.is_nan()) {
+        return f64::NAN;
+    }
+    peaks.sort_by(|a, b| b.total_cmp(a));
     // Appendix D: the bill uses "the 4th highest one from all the daily
     // peak usage in this month" — i.e. the top 3 of ~30 days are dropped.
     // Generalized proportionally for shorter traces: drop round(n/10)
@@ -54,6 +66,50 @@ pub fn nep_network_month(
 ) -> f64 {
     let level = p95_daily_peak(bw_mbps, interval_min);
     level * tariff.bandwidth_unit_price(city, operator)
+}
+
+/// A monthly network bill with and without multi-tenant contention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContendedBill {
+    /// Bill on an uncontended server, RMB (tariff-scaled).
+    pub baseline_rmb: f64,
+    /// Bill when the tenant only gets `bw_available` of the NIC, RMB.
+    pub contended_rmb: f64,
+    /// Fraction of intended traffic volume actually delivered.
+    pub delivered_fraction: f64,
+}
+
+impl ContendedBill {
+    /// Contended minus baseline: negative — the p95 level drops with the
+    /// throttled series — which is exactly the trap: the bill shrinks
+    /// while the tenant silently delivers less traffic.
+    pub fn delta_rmb(&self) -> f64 {
+        self.contended_rmb - self.baseline_rmb
+    }
+}
+
+/// NEP monthly network bill of one aggregate under bandwidth contention.
+///
+/// The tenant's intended series `bw_mbps` is throttled to the fair share
+/// `bw_available` ∈ (0, 1] of the nominal link (a provider-level
+/// `tariff_scale` multiplies both unit prices; 1.0 for the paper's NEP).
+/// With `bw_available = 1.0` the baseline and contended bills coincide.
+pub fn nep_contended_network_month(
+    tariff: &NepTariff,
+    bw_mbps: &[f64],
+    interval_min: usize,
+    city: &str,
+    operator: Operator,
+    bw_available: f64,
+    tariff_scale: f64,
+) -> ContendedBill {
+    assert!(bw_available > 0.0 && bw_available <= 1.0, "bw share out of range");
+    assert!(tariff_scale > 0.0, "tariff scale must be positive");
+    let baseline = nep_network_month(tariff, bw_mbps, interval_min, city, operator) * tariff_scale;
+    let throttled: Vec<f64> = bw_mbps.iter().map(|&x| x * bw_available).collect();
+    let contended =
+        nep_network_month(tariff, &throttled, interval_min, city, operator) * tariff_scale;
+    ContendedBill { baseline_rmb: baseline, contended_rmb: contended, delivered_fraction: bw_available }
 }
 
 /// Scale a bill computed over `days` of trace to a 30-day month — the
@@ -87,8 +143,7 @@ pub fn cloud_network_month(
         }
         NetworkModel::PreReservedFixed => {
             // You must reserve for the observed peak.
-            let peak = bw_mbps.iter().cloned().fold(0.0f64, f64::max);
-            tariff.fixed_month(peak)
+            tariff.fixed_month(peak_max(bw_mbps))
         }
     }
 }
@@ -146,6 +201,22 @@ mod tests {
         let p = p95_daily_peak(&[7.0, 3.0], 720);
         assert_eq!(p, 7.0);
         assert_eq!(p95_daily_peak(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn contended_bill_shrinks_with_the_fair_share() {
+        let t = NepTariff::paper();
+        let bw = vec![40.0; 288 * 30];
+        let full = nep_contended_network_month(&t, &bw, 5, "Chengdu", Operator::Telecom, 1.0, 1.0);
+        assert_eq!(full.baseline_rmb, full.contended_rmb, "no contention, no delta");
+        assert_eq!(full.delta_rmb(), 0.0);
+        let half = nep_contended_network_month(&t, &bw, 5, "Chengdu", Operator::Telecom, 0.5, 1.0);
+        assert!((half.contended_rmb - half.baseline_rmb / 2.0).abs() < 1e-9);
+        assert!(half.delta_rmb() < 0.0, "cheaper bill, but half the traffic delivered");
+        assert_eq!(half.delivered_fraction, 0.5);
+        // Provider tariff scale multiplies both sides.
+        let scaled = nep_contended_network_month(&t, &bw, 5, "Chengdu", Operator::Telecom, 0.5, 0.8);
+        assert!((scaled.baseline_rmb - 0.8 * half.baseline_rmb).abs() < 1e-9);
     }
 
     #[test]

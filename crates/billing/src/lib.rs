@@ -25,6 +25,9 @@ pub mod bill;
 pub mod tariff;
 pub mod vcloud;
 
-pub use bill::{cloud_network_month, daily_peaks, nep_app_bill, nep_network_month, p95_daily_peak};
+pub use bill::{
+    cloud_network_month, daily_peaks, nep_app_bill, nep_contended_network_month,
+    nep_network_month, p95_daily_peak, ContendedBill,
+};
 pub use tariff::{CloudTariff, NepTariff, NetworkModel};
 pub use vcloud::{table3_ratios, table3_ratios_with, CostRatios, TrafficGranularity, VirtualCloudReport};

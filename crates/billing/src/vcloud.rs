@@ -32,8 +32,8 @@ impl CostRatios {
     fn of(ratios: &[f64]) -> Self {
         assert!(!ratios.is_empty(), "no ratios");
         CostRatios {
-            min: ratios.iter().cloned().fold(f64::INFINITY, f64::min),
-            max: ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            min: edgescope_analysis::stats::peak_min(ratios),
+            max: edgescope_analysis::stats::peak_max(ratios),
             mean: edgescope_analysis::stats::mean(ratios),
             median: edgescope_analysis::stats::median(ratios),
         }

@@ -16,6 +16,7 @@ use crate::engine::{self, EngineConfig, EngineRun};
 use crate::report::{xy_csv, ExperimentReport};
 use crate::scenario::Scenario;
 use edgescope_analysis::cdf::Cdf;
+use edgescope_analysis::stats::peak_max;
 use edgescope_analysis::table::Table;
 use edgescope_net::fault::{EventKind, EventTimeline, ScheduledEvent};
 use edgescope_platform::deployment::Deployment;
@@ -79,15 +80,11 @@ fn summary_table(title: &str, run: &EngineRun) -> Table {
     let mut t = Table::new(title, &["metric", "value"]);
     t.row(vec!["recovery_time_min".into(), format!("{}", run.recovery.recovery_time_min)]);
     t.row(vec!["degraded_minutes".into(), format!("{}", run.recovery.degraded_minutes)]);
-    let peak_reject =
-        run.reject_fractions().into_iter().fold(0.0f64, f64::max);
+    let peak_reject = peak_max(&run.reject_fractions());
     t.row(vec!["peak_reject_frac".into(), format!("{peak_reject:.4}")]);
-    let worst_p95 = run
-        .steps
-        .iter()
-        .map(|s| s.p95_rtt_ms)
-        .filter(|r| r.is_finite())
-        .fold(0.0f64, f64::max);
+    let finite_p95s: Vec<f64> =
+        run.steps.iter().map(|s| s.p95_rtt_ms).filter(|r| r.is_finite()).collect();
+    let worst_p95 = peak_max(&finite_p95s);
     t.row(vec!["worst_p95_rtt_ms".into(), format!("{worst_p95:.2}")]);
     let migrations: u32 = run.steps.iter().map(|s| s.migrations).sum();
     t.row(vec!["total_migrations".into(), format!("{migrations}")]);

@@ -9,6 +9,7 @@
 
 use crate::report::ExperimentReport;
 use crate::scenario::Scenario;
+use edgescope_analysis::stats::peak_max;
 use edgescope_analysis::table::Table;
 use edgescope_sched::elastic::{evaluate, ElasticConfig};
 use edgescope_trace::app::AppCategory;
@@ -16,9 +17,8 @@ use edgescope_trace::app::AppCategory;
 /// Build a 30-day demand series (15-min intervals) from a category's
 /// diurnal profile.
 fn demand_series(category: AppCategory, peak_rps: f64) -> Vec<f64> {
-    let peak_profile = (0..96)
-        .map(|i| category.diurnal(i as f64 / 4.0))
-        .fold(0.0f64, f64::max);
+    let profile: Vec<f64> = (0..96).map(|i| category.diurnal(i as f64 / 4.0)).collect();
+    let peak_profile = peak_max(&profile);
     (0..30 * 96)
         .map(|i| {
             let h = (i % 96) as f64 / 4.0;

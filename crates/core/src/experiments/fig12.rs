@@ -3,6 +3,7 @@
 
 use super::workload_study::WorkloadStudy;
 use crate::report::{kv_csv, ExperimentReport};
+use edgescope_analysis::stats::{peak_max, peak_min};
 use edgescope_analysis::table::Table;
 use edgescope_analysis::timeseries::resample_mean;
 
@@ -13,11 +14,11 @@ fn weekly(ds: &edgescope_trace::dataset::TraceDataset, vm_idx: usize) -> Vec<f64
     resample_mean(&xs, per_week)
 }
 
-/// Drift score: max/min of the weekly averages.
+/// Drift score: max/min of the weekly averages. NaN-propagating peaks, so
+/// a poisoned series scores NaN (and is demoted by [`sort_by_drift_desc`])
+/// instead of scoring `f64::MIN / 1e-6`.
 fn drift_score(weekly: &[f64]) -> f64 {
-    let max = weekly.iter().cloned().fold(f64::MIN, f64::max);
-    let min = weekly.iter().cloned().fold(f64::MAX, f64::min).max(1e-6);
-    max / min
+    peak_max(weekly) / peak_min(weekly).max(1e-6)
 }
 
 /// Rank `(vm, drift)` pairs most-drifting first. Uses the IEEE total

@@ -2,6 +2,7 @@
 
 use crate::report::{xy_csv, ExperimentReport};
 use crate::scenario::Scenario;
+use edgescope_analysis::stats::peak_max;
 use edgescope_analysis::table::Table;
 use edgescope_probe::intersite::intersite_scan;
 
@@ -31,7 +32,7 @@ pub fn run(scenario: &Scenario) -> ExperimentReport {
             continue;
         }
         let mean = rs.iter().sum::<f64>() / rs.len() as f64;
-        let max = rs.iter().cloned().fold(f64::MIN, f64::max);
+        let max = peak_max(&rs);
         t.row(vec![
             format!("{lo:.0}-{hi:.0}"),
             rs.len().to_string(),

@@ -39,6 +39,7 @@ pub mod ext_gslb;
 pub mod ext_migration;
 pub mod ext_predictive;
 pub mod ext_predictors;
+pub mod contention;
 pub mod fig9;
 pub mod latency_study;
 pub mod metro;
@@ -210,11 +211,11 @@ impl ExperimentSpec {
 }
 
 /// Every experiment in paper order — 19 paper artefacts, 2 appendix
-/// tables, 8 extensions, 4 dynamic scenarios, 3 metro-scale streaming
-/// analogues. Names match report ids, so `reproduce --only
-/// fig2a,table3` selects by the ids printed in reports and
-/// EXPERIMENTS.md; the `dyn_*` scenarios are additionally catalogued in
-/// SCENARIOS.md.
+/// tables, 8 extensions, 3 contention/provider studies, 4 dynamic
+/// scenarios, 3 metro-scale streaming analogues. Names match report
+/// ids, so `reproduce --only fig2a,table3` selects by the ids printed
+/// in reports and EXPERIMENTS.md; the `dyn_*` scenarios are
+/// additionally catalogued in SCENARIOS.md.
 pub fn registry() -> Vec<ExperimentSpec> {
     vec![
         ExperimentSpec::new("table1", NONE, |_, _| table1::run()),
@@ -248,6 +249,9 @@ pub fn registry() -> Vec<ExperimentSpec> {
         ExperimentSpec::new("ext_fragmentation", NONE, |sc, _| ext_fragmentation::run(sc)),
         ExperimentSpec::new("ext_billing", WL, |sc, st| ext_billing::run(sc, st.workload())),
         ExperimentSpec::new("ext_framesim", NONE, |sc, _| ext_framesim::run(sc)),
+        ExperimentSpec::new("ctn_qoe_density", NONE, |sc, _| contention::run_qoe_density(sc)),
+        ExperimentSpec::new("ctn_placement", NONE, |sc, _| contention::run_placement(sc)),
+        ExperimentSpec::new("ctn_providers", NONE, |sc, _| contention::run_providers(sc)),
         ExperimentSpec::new("dyn_outage_qoe", NONE, |sc, _| dyn_scenarios::run_outage(sc)),
         ExperimentSpec::new("dyn_flashcrowd_admission", NONE, |sc, _| {
             dyn_scenarios::run_flashcrowd(sc)
@@ -325,6 +329,7 @@ mod tests {
             "table1", "fig2a", "fig2b", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
             "table6", "fig8", "fig9", "sales", "fig10", "fig11", "fig12", "fig13", "fig14",
             "table3", "table4", "table5", "ext_gslb", "ext_migration", "ext_elastic", "ext_predictive", "ext_predictors", "ext_fragmentation", "ext_billing", "ext_framesim",
+            "ctn_qoe_density", "ctn_placement", "ctn_providers",
             "dyn_outage_qoe", "dyn_flashcrowd_admission", "dyn_drain_migration",
             "dyn_mobility_rtt",
             "metro_latency", "metro_intersite", "metro_workload",

@@ -1,6 +1,7 @@
 //! Table 1: deployment density of clouds vs. NEP.
 
 use crate::report::ExperimentReport;
+use edgescope_analysis::stats::peak_max;
 use edgescope_analysis::table::Table;
 use edgescope_platform::density::table1_rows;
 
@@ -23,11 +24,12 @@ pub fn run() -> ExperimentReport {
     }
     report.tables.push(t);
     let nep = rows.last().expect("NEP row");
-    let best_cloud = rows
+    let cloud_densities: Vec<f64> = rows
         .iter()
         .filter(|r| !r.platform.contains("NEP"))
         .map(|r| r.density())
-        .fold(f64::MIN, f64::max);
+        .collect();
+    let best_cloud = peak_max(&cloud_densities);
     report.notes.push(format!(
         "NEP density {:.0} vs densest cloud/edge {:.2} — {:.0}x, the paper's 'two orders of magnitude'",
         nep.density(),

@@ -477,7 +477,7 @@ mod tests {
             let p = m.ue_path(&mut rng, AccessNetwork::Wifi, 20.0, TargetClass::EdgeSite);
             rtts.push(p.mean_rtt_ms());
         }
-        rtts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rtts.sort_by(f64::total_cmp);
         let median = rtts[rtts.len() / 2];
         assert!((median - 16.1).abs() < 2.5, "median {median}");
     }
@@ -551,9 +551,10 @@ mod tests {
         assert!((55.0..110.0).contains(&far), "far mean {far}");
         // Upper envelope: some paths do reach ~100 ms.
         let mut rng = StdRng::seed_from_u64(10);
-        let max = (0..300)
+        let rtts: Vec<f64> = (0..300)
             .map(|_| m.intersite_path(&mut rng, 3000.0).mean_rtt_ms())
-            .fold(f64::NEG_INFINITY, f64::max);
+            .collect();
+        let max = edgescope_analysis::stats::peak_max(&rtts);
         assert!(max > 90.0, "max {max}");
     }
 

@@ -269,7 +269,7 @@ mod tests {
             .collect();
         assert!(xs.iter().all(|&x| (1.0..=1000.0).contains(&x)));
         let mut sorted = xs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let median = sorted[xs.len() / 2];
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!(mean > 2.0 * median, "heavy tail: mean {mean} median {median}");

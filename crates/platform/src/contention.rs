@@ -1,0 +1,157 @@
+//! Multi-tenant contention: deterministic CPU-steal and bandwidth-sharing
+//! factors as functions of colocation density.
+//!
+//! The paper measures isolated VMs, but real edge nodes colocate tenants,
+//! and multi-tenancy evaluation work (Georgiou et al., PAPERS.md) shows
+//! contention is a first-order effect on edge QoE. This module keeps the
+//! model minimal and fully deterministic: given a server's *colocation
+//! density* (how full it is relative to a comfortable tenant count), a
+//! [`Contention`] config yields
+//!
+//! * a **CPU-steal factor** ≥ 1 — the multiplicative inflation of compute
+//!   time (and hence server-side latency) a tenant observes, growing
+//!   quadratically with density so a near-empty box is unaffected and a
+//!   packed one degrades sharply;
+//! * a **bandwidth share** ∈ (0, 1] — the fraction of the nominal link a
+//!   tenant can sustain, shrinking linearly with density (fair-share NIC
+//!   under load).
+//!
+//! The default config is [`Contention::off`], which returns the identity
+//! factors for every density — experiments built before this model exists
+//! stay byte-identical.
+
+/// Contention config: how strongly colocation degrades CPU and bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contention {
+    /// Master switch. When false every factor is the identity, regardless
+    /// of the coefficients.
+    pub enabled: bool,
+    /// CPU-steal coefficient: steal factor = `1 + cpu_steal · density²`.
+    pub cpu_steal: f64,
+    /// Bandwidth-sharing coefficient: share = `1 − bw_share · density`,
+    /// floored at 0.05 so a packed server still moves *some* bytes.
+    pub bw_share: f64,
+}
+
+/// Minimum bandwidth share a tenant keeps on a fully-packed server.
+pub const MIN_BW_SHARE: f64 = 0.05;
+
+impl Contention {
+    /// No contention (the default): identity factors at every density.
+    pub fn off() -> Self {
+        Contention { enabled: false, cpu_steal: 0.0, bw_share: 0.0 }
+    }
+
+    /// Moderate interference, calibrated so a fully-packed server inflates
+    /// compute by ~35% and halves per-tenant bandwidth.
+    pub fn moderate() -> Self {
+        Contention { enabled: true, cpu_steal: 0.35, bw_share: 0.5 }
+    }
+
+    /// Heavy interference: ~80% compute inflation and an 80% bandwidth cut
+    /// on a fully-packed server (noisy-neighbour worst case).
+    pub fn heavy() -> Self {
+        Contention { enabled: true, cpu_steal: 0.8, bw_share: 0.8 }
+    }
+
+    /// Parse a preset name (`off` | `moderate` | `heavy`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "off" => Some(Self::off()),
+            "moderate" => Some(Self::moderate()),
+            "heavy" => Some(Self::heavy()),
+            _ => None,
+        }
+    }
+
+    /// CPU-steal factor at a colocation density in `[0, 1]`: ≥ 1, identity
+    /// when disabled or density 0. Quadratic in density — schedulers absorb
+    /// light colocation, interference compounds when the box fills up.
+    pub fn cpu_steal_factor(&self, density: f64) -> f64 {
+        if !self.enabled {
+            return 1.0;
+        }
+        let d = density.clamp(0.0, 1.0);
+        1.0 + self.cpu_steal * d * d
+    }
+
+    /// Fraction of nominal bandwidth available at a colocation density in
+    /// `[0, 1]`: in `(0, 1]`, identity when disabled or density 0.
+    ///
+    /// Floored via `clamp`, not `f64::max` — `max(NaN, floor)` would
+    /// silently launder a NaN density into the floor share, the exact bug
+    /// class the `peak_max` sweep removed.
+    pub fn bw_available(&self, density: f64) -> f64 {
+        if !self.enabled {
+            return 1.0;
+        }
+        let d = density.clamp(0.0, 1.0);
+        (1.0 - self.bw_share * d).clamp(MIN_BW_SHARE, 1.0)
+    }
+}
+
+impl Default for Contention {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_identity_everywhere() {
+        let c = Contention::off();
+        for d in [0.0, 0.3, 1.0, 7.0, -1.0] {
+            assert_eq!(c.cpu_steal_factor(d), 1.0);
+            assert_eq!(c.bw_available(d), 1.0);
+        }
+        assert_eq!(Contention::default(), c);
+    }
+
+    #[test]
+    fn factors_monotone_in_density() {
+        let c = Contention::moderate();
+        let mut last_steal = 0.0;
+        let mut last_bw = 2.0;
+        for i in 0..=10 {
+            let d = i as f64 / 10.0;
+            let steal = c.cpu_steal_factor(d);
+            let bw = c.bw_available(d);
+            assert!(steal >= last_steal, "steal monotone at {d}");
+            assert!(bw <= last_bw, "bw monotone at {d}");
+            assert!(steal >= 1.0 && bw > 0.0 && bw <= 1.0);
+            last_steal = steal;
+            last_bw = bw;
+        }
+        // Calibration points at full density.
+        assert!((c.cpu_steal_factor(1.0) - 1.35).abs() < 1e-12);
+        assert!((c.bw_available(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_degrades_more_than_moderate() {
+        let m = Contention::moderate();
+        let h = Contention::heavy();
+        assert!(h.cpu_steal_factor(0.8) > m.cpu_steal_factor(0.8));
+        assert!(h.bw_available(0.8) < m.bw_available(0.8));
+    }
+
+    #[test]
+    fn density_is_clamped_and_bw_is_floored() {
+        let h = Contention::heavy();
+        assert_eq!(h.cpu_steal_factor(5.0), h.cpu_steal_factor(1.0));
+        assert!(h.bw_available(1.0) >= MIN_BW_SHARE);
+        let extreme = Contention { enabled: true, cpu_steal: 0.0, bw_share: 2.0 };
+        assert_eq!(extreme.bw_available(1.0), MIN_BW_SHARE);
+    }
+
+    #[test]
+    fn parse_presets() {
+        assert_eq!(Contention::parse("off"), Some(Contention::off()));
+        assert_eq!(Contention::parse("moderate"), Some(Contention::moderate()));
+        assert_eq!(Contention::parse("heavy"), Some(Contention::heavy()));
+        assert_eq!(Contention::parse("extreme"), None);
+    }
+}

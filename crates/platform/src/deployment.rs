@@ -172,7 +172,9 @@ impl Deployment {
             .enumerate()
             .map(|(i, s)| (i, s.geo().distance_km(&from)))
             .collect();
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        // total_cmp: a NaN distance (degenerate coordinates) sorts last —
+        // it can never become the "nearest" site, and never panics.
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v
     }
 

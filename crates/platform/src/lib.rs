@@ -23,7 +23,12 @@
 //!   "NEP favors the servers that are low in usage in terms of the sales
 //!   ratio and actual CPU usage");
 //! * [`sales`] — per-server/per-site sales-rate summaries (§4.1);
-//! * [`density`] — the Table 1 deployment-density comparison.
+//! * [`density`] — the Table 1 deployment-density comparison;
+//! * [`contention`] — multi-tenant CPU-steal / bandwidth-sharing factors
+//!   as deterministic functions of colocation density (default off);
+//! * [`provider`] — pluggable provider profiles (the paper's NEP plus a
+//!   synthetic consolidated "metro edge" provider) bundling site density,
+//!   tariff scale and contention defaults.
 //!
 //! ## Implemented vs. omitted
 //! Omitted deliberately: VM live migration and hot resource scaling — §4.3
@@ -38,18 +43,22 @@
 //! `platform.placement_rejected_capacity`) when a scope is active;
 //! instrumentation never changes placement decisions.
 
+pub mod contention;
 pub mod density;
 pub mod deployment;
 pub mod geo_china;
 pub mod ids;
 pub mod placement;
+pub mod provider;
 pub mod resources;
 pub mod sales;
 pub mod site;
 
+pub use contention::Contention;
 pub use deployment::{Deployment, DeploymentKind};
 pub use geo_china::{City, CITIES};
 pub use ids::{AppId, CustomerId, ServerId, SiteId, VmId};
 pub use placement::{PlacementError, PlacementPolicy, SubscriptionRequest};
+pub use provider::ProviderProfile;
 pub use resources::{ServerCapacity, VmSpec};
 pub use site::{Server, Site};

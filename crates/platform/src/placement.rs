@@ -85,6 +85,11 @@ pub struct PlacementPolicy {
     pub w_sales: f64,
     /// Weight of the observed CPU utilization.
     pub w_util: f64,
+    /// Weight of the server's colocation density
+    /// ([`crate::site::Server::colocation_density`]) — 0.0 by default, so
+    /// the paper's documented two-criterion policy is unchanged; the
+    /// contention-aware policy raises it to dodge noisy-neighbour servers.
+    pub w_coloc: f64,
 }
 
 impl Default for PlacementPolicy {
@@ -93,11 +98,19 @@ impl Default for PlacementPolicy {
         PlacementPolicy {
             w_sales: 0.5,
             w_util: 0.5,
+            w_coloc: 0.0,
         }
     }
 }
 
 impl PlacementPolicy {
+    /// A contention-aware variant: the two documented criteria at their
+    /// default weights plus an equal-weight colocation-density penalty, so
+    /// tenants land on servers with the fewest noisy neighbours.
+    pub fn contention_aware() -> Self {
+        PlacementPolicy { w_sales: 0.5, w_util: 0.5, w_coloc: 1.0 }
+    }
+
     /// Place `req.count` VMs of `req.spec` in `req.scope`, mutating the
     /// deployment's allocation state. VM ids are assigned from
     /// `next_vm_id` (incremented per placement). On
@@ -204,8 +217,15 @@ impl PlacementPolicy {
                 if !server.fits(spec) {
                     continue;
                 }
-                let score =
-                    self.w_sales * server.cpu_sales_ratio() + self.w_util * server.observed_cpu_util;
+                // The colocation term scores the server as the incoming
+                // tenant would find it — *after* landing on it
+                // (`density_with`), so neighbour count genuinely enters
+                // the ordering instead of merely echoing the sales ratio.
+                // With the default `w_coloc = 0` the term vanishes and the
+                // documented two-criterion policy is bit-identical.
+                let score = self.w_sales * server.cpu_sales_ratio()
+                    + self.w_util * server.observed_cpu_util
+                    + self.w_coloc * server.density_with(spec);
                 if best.is_none_or(|(_, _, s)| score < s) {
                     best = Some((si, vi, score));
                 }

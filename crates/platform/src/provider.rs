@@ -1,0 +1,152 @@
+//! Pluggable provider profiles.
+//!
+//! The paper studies one edge platform (NEP) against clouds, but EdgeBench
+//! (Das et al., PAPERS.md) shows the interesting questions only appear
+//! when ≥ 2 platforms are compared side by side. A [`ProviderProfile`]
+//! bundles everything a comparison needs — site density, servers-per-site
+//! range, a tariff multiplier, and a default [`Contention`] — so the
+//! experiment layer can iterate over profiles instead of hard-coding NEP.
+//!
+//! Profile #1, [`ProviderProfile::nep_paper`], reproduces the paper's NEP
+//! exactly (its deployment builder, unit tariffs, and no contention), so
+//! registering it changes no existing artefact. Profile #2,
+//! [`ProviderProfile::metro_edge`], is a synthetic "metro edge" provider:
+//! fewer but beefier sites concentrated where the users are, cheaper
+//! bandwidth, and moderate multi-tenant contention — the classic
+//! consolidation trade-off the contention experiments quantify.
+
+use crate::contention::Contention;
+use crate::deployment::{Deployment, DeploymentKind};
+use rand::Rng;
+
+/// A provider: deployment shape + tariff scale + contention defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProviderProfile {
+    /// Short stable name, used in CSV columns and query params.
+    pub name: &'static str,
+    /// Edge (many small sites) or cloud (few large regions).
+    pub kind: DeploymentKind,
+    /// Site-count multiplier relative to the scenario's NEP site budget:
+    /// 1.0 ⇒ as dense as NEP, 0.3 ⇒ fewer, bigger sites.
+    pub site_density: f64,
+    /// Servers per site, lower bound.
+    pub min_servers: usize,
+    /// Servers per site, upper bound.
+    pub max_servers: usize,
+    /// Multiplier applied to NEP's unit tariffs (bandwidth + hardware):
+    /// 1.0 ⇒ the paper's price list.
+    pub tariff_scale: f64,
+    /// Default contention config for this provider's servers.
+    pub contention: Contention,
+}
+
+impl ProviderProfile {
+    /// Profile #1: the paper's NEP, verbatim — full site density, the
+    /// "tens to hundreds" 10–180 server range, unit tariffs, no
+    /// contention. Building a deployment from this profile is
+    /// byte-identical to [`Deployment::nep`] under the same RNG stream.
+    pub fn nep_paper() -> Self {
+        ProviderProfile {
+            name: "nep",
+            kind: DeploymentKind::Edge,
+            site_density: 1.0,
+            min_servers: 10,
+            max_servers: 180,
+            tariff_scale: 1.0,
+            contention: Contention::off(),
+        }
+    }
+
+    /// Profile #2: a synthetic consolidated "metro edge" provider —
+    /// roughly a third of NEP's sites, each 4–8× larger, 20% cheaper
+    /// tariffs, and moderate multi-tenant contention. Denser packing buys
+    /// the discount; the contention experiments price the interference it
+    /// costs.
+    pub fn metro_edge() -> Self {
+        ProviderProfile {
+            name: "metroedge",
+            kind: DeploymentKind::Edge,
+            site_density: 0.35,
+            min_servers: 60,
+            max_servers: 240,
+            tariff_scale: 0.8,
+            contention: Contention::moderate(),
+        }
+    }
+
+    /// All built-in edge profiles, comparison order.
+    pub fn all_edge() -> [Self; 2] {
+        [Self::nep_paper(), Self::metro_edge()]
+    }
+
+    /// Parse a profile name (`nep` | `metroedge`).
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::all_edge().into_iter().find(|p| p.name == name)
+    }
+
+    /// Number of sites this profile deploys given the scenario's NEP site
+    /// budget (always ≥ 1).
+    pub fn n_sites(&self, base_sites: usize) -> usize {
+        ((base_sites as f64 * self.site_density).round() as usize).max(1)
+    }
+
+    /// Build this provider's deployment. `base_sites` is the scenario's
+    /// NEP site budget; edge profiles scale it by [`site_density`] and
+    /// draw from the shared population-weighted builder, so the NEP
+    /// profile reproduces [`Deployment::nep`] bit for bit.
+    ///
+    /// [`site_density`]: ProviderProfile::site_density
+    pub fn build_deployment(&self, rng: &mut impl Rng, base_sites: usize) -> Deployment {
+        match self.kind {
+            DeploymentKind::Edge => Deployment::nep_custom(
+                rng,
+                self.n_sites(base_sites),
+                self.min_servers,
+                self.max_servers,
+            ),
+            DeploymentKind::Cloud => Deployment::alicloud(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nep_profile_reproduces_paper_deployment() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let via_profile = ProviderProfile::nep_paper().build_deployment(&mut a, 40);
+        let direct = Deployment::nep(&mut b, 40);
+        assert_eq!(via_profile.n_sites(), direct.n_sites());
+        assert_eq!(via_profile.n_servers(), direct.n_servers());
+        for (s, t) in via_profile.sites.iter().zip(&direct.sites) {
+            assert_eq!(s.city.name, t.city.name);
+            assert_eq!(s.location, t.location);
+        }
+    }
+
+    #[test]
+    fn metro_edge_is_sparser_but_beefier() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let me = ProviderProfile::metro_edge();
+        let dep = me.build_deployment(&mut rng, 40);
+        assert_eq!(dep.n_sites(), me.n_sites(40));
+        assert!(dep.n_sites() < 40 / 2, "consolidated: {} sites", dep.n_sites());
+        let mean_servers = dep.n_servers() as f64 / dep.n_sites() as f64;
+        assert!(mean_servers >= 60.0, "big sites: {mean_servers}");
+        assert!(me.contention.enabled);
+        assert!(me.tariff_scale < 1.0);
+    }
+
+    #[test]
+    fn parse_and_site_floor() {
+        assert_eq!(ProviderProfile::parse("nep"), Some(ProviderProfile::nep_paper()));
+        assert_eq!(ProviderProfile::parse("metroedge"), Some(ProviderProfile::metro_edge()));
+        assert_eq!(ProviderProfile::parse("uncloud"), None);
+        assert_eq!(ProviderProfile::metro_edge().n_sites(1), 1, "never zero sites");
+    }
+}

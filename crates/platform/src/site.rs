@@ -94,6 +94,36 @@ impl Server {
     pub fn mem_sales_ratio(&self) -> f64 {
         self.allocated_mem as f64 / self.capacity.mem_gb as f64
     }
+
+    /// Colocation density in `[0, 1]` — the input to
+    /// [`crate::contention::Contention`]'s degradation factors.
+    ///
+    /// `cpu_sales_ratio · (1 − 1/k)` for `k` hosted VMs: a server with at
+    /// most one VM has no neighbours and density 0 however large the VM;
+    /// with many tenants the density approaches the fraction of cores
+    /// sold. Deterministic — no sampling, so contention experiments stay
+    /// byte-identical across worker counts.
+    pub fn colocation_density(&self) -> f64 {
+        let k = self.vms.len();
+        if k <= 1 {
+            return 0.0;
+        }
+        (self.cpu_sales_ratio() * (1.0 - 1.0 / k as f64)).clamp(0.0, 1.0)
+    }
+
+    /// The colocation density this server would have after also hosting a
+    /// VM of `spec` — the counterfactual a contention-aware placer cares
+    /// about (an incoming tenant experiences the box *with itself on it*,
+    /// so a server holding one large VM is no longer density-0 once it
+    /// gains a neighbour).
+    pub fn density_with(&self, spec: &VmSpec) -> f64 {
+        let k = self.vms.len() + 1;
+        if k <= 1 {
+            return 0.0;
+        }
+        let ratio = (self.allocated_cpu + spec.cpu_cores) as f64 / self.capacity.cpu_cores as f64;
+        (ratio * (1.0 - 1.0 / k as f64)).clamp(0.0, 1.0)
+    }
 }
 
 /// A datacenter site at one city.

@@ -119,9 +119,13 @@ impl ArModel {
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
-        // Pivot.
+        // Pivot. NaN magnitudes are demoted below every real candidate:
+        // under the raw IEEE total order NaN ranks *above* +inf, so a
+        // poisoned column would win the pivot and then trip the singular
+        // assert (or worse, silently pick a wrong pivot).
+        let key = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .max_by(|&i, &j| key(a[i][col].abs()).total_cmp(&key(a[j][col].abs())))
             .unwrap();
         a.swap(col, pivot);
         b.swap(col, pivot);

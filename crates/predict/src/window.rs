@@ -22,7 +22,7 @@ pub fn make_windows(xs: &[f64], samples_per_window: usize, agg: Aggregation) -> 
     assert!(samples_per_window > 0, "window must be positive");
     xs.chunks_exact(samples_per_window)
         .map(|c| match agg {
-            Aggregation::Max => c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Max => edgescope_analysis::stats::peak_max(c),
             Aggregation::Mean => c.iter().sum::<f64>() / c.len() as f64,
         })
         .collect()

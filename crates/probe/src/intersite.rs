@@ -160,7 +160,7 @@ mod tests {
             .map(|(_, r)| *r)
             .collect();
         if !far.is_empty() {
-            let max = far.iter().cloned().fold(f64::MIN, f64::max);
+            let max = edgescope_analysis::stats::peak_max(&far);
             assert!(max > 80.0, "max far rtt {max}");
         }
     }

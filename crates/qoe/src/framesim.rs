@@ -131,7 +131,10 @@ pub fn simulate_stream(
         display_time = actual;
         latencies.push(actual - i as f64 * frame_interval_ms);
     }
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: a NaN frame latency (e.g. a poisoned link profile) sorts
+    // to the top of the tail instead of panicking mid-simulation — it then
+    // surfaces as a NaN p95 rather than being dropped.
+    latencies.sort_by(f64::total_cmp);
     let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
     let p95 = latencies[((latencies.len() - 1) as f64 * 0.95) as usize];
     FrameSimOutcome {

@@ -43,6 +43,26 @@ impl LinkProfile {
     pub fn downlink_tx_ms(&self, payload_bytes: f64) -> f64 {
         payload_bytes * 8.0 / (self.downlink_mbps * 1e6) * 1e3
     }
+
+    /// The link as seen from a VM on a contended server.
+    ///
+    /// `cpu_steal_factor` (≥ 1) inflates the server-side share of the RTT
+    /// — modelled as half the round trip, since the paper's last-mile RTT
+    /// splits between access network and server turnaround — and
+    /// `bw_available` (∈ (0, 1]) scales both directions of bandwidth
+    /// (fair-share NIC). Jitter also grows with steal: interrupted vCPUs
+    /// respond burstily. Identity inputs (1.0, 1.0) return `self`
+    /// unchanged, so contention `off` is byte-identical.
+    pub fn under_contention(&self, cpu_steal_factor: f64, bw_available: f64) -> Self {
+        assert!(cpu_steal_factor >= 1.0, "steal factor below identity");
+        assert!(bw_available > 0.0 && bw_available <= 1.0, "bw share out of range");
+        LinkProfile {
+            rtt_ms: self.rtt_ms * (0.5 + 0.5 * cpu_steal_factor),
+            jitter_cv: self.jitter_cv * cpu_steal_factor,
+            uplink_mbps: self.uplink_mbps * bw_available,
+            downlink_mbps: self.downlink_mbps * bw_available,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +91,24 @@ mod tests {
     #[should_panic(expected = "non-positive link")]
     fn zero_rtt_rejected() {
         LinkProfile::with_rtt(0.0, 10.0);
+    }
+
+    #[test]
+    fn identity_contention_is_a_noop() {
+        let l = LinkProfile::with_rtt(20.0, 100.0);
+        assert_eq!(l.under_contention(1.0, 1.0), l);
+    }
+
+    #[test]
+    fn contention_degrades_monotonically() {
+        let l = LinkProfile::with_rtt(20.0, 100.0);
+        let d = l.under_contention(1.35, 0.5);
+        assert!(d.rtt_ms > l.rtt_ms && d.rtt_ms < l.rtt_ms * 1.35);
+        assert!(d.jitter_cv > l.jitter_cv);
+        assert_eq!(d.uplink_mbps, 50.0);
+        assert_eq!(d.downlink_mbps, 50.0);
+        let worse = l.under_contention(1.8, 0.2);
+        assert!(worse.rtt_ms > d.rtt_ms);
+        assert!(worse.downlink_mbps < d.downlink_mbps);
     }
 }

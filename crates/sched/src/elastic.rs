@@ -16,7 +16,7 @@
 //!   a keep-alive window; requests that miss a warm instance pay a cold
 //!   start. Billed per core-second actually used (plus keep-alive).
 
-use edgescope_analysis::stats::percentile;
+use edgescope_analysis::stats::{peak_max, percentile};
 
 /// Elasticity study configuration.
 #[derive(Debug, Clone)]
@@ -87,7 +87,7 @@ impl ElasticOutcome {
 pub fn evaluate(demand: &[f64], cfg: &ElasticConfig) -> ElasticOutcome {
     assert!(!demand.is_empty(), "need demand");
     assert!(cfg.req_per_core_interval > 0.0);
-    let peak = demand.iter().cloned().fold(0.0f64, f64::max);
+    let peak = peak_max(demand);
     let total_requests: f64 = demand.iter().sum();
 
     // --- IaaS ------------------------------------------------------------

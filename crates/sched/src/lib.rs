@@ -24,7 +24,11 @@
 //!   "knowing the future CPU usage can guide VM allocation and
 //!   migration, thus help avoid server malfunction or even crash"):
 //!   reactive vs. Holt-Winters vs. oracle placement under diurnal,
-//!   phase-shifted site loads.
+//!   phase-shifted site loads;
+//! * [`colocate`] — the documented sales-ratio policy vs a
+//!   contention-aware variant, scored under the multi-tenant
+//!   CPU-steal/bandwidth-sharing model of
+//!   `edgescope_platform::contention`.
 //!
 //! ## Implemented vs. omitted
 //! These are evaluation models at the same altitude as the paper's own
@@ -34,6 +38,7 @@
 //! as a fixed distribution. Omitted: live-migration page-fault dynamics
 //! and function snapshotting internals — no §5 claim depends on them.
 
+pub mod colocate;
 pub mod elastic;
 pub mod gslb;
 pub mod migration;
@@ -41,6 +46,7 @@ pub mod predictive;
 pub mod requests;
 pub mod simulate;
 
+pub use colocate::{colocation_study, ColocationConfig, ColocationOutcome};
 pub use elastic::{ElasticConfig, ElasticOutcome};
 pub use gslb::SchedulingPolicy;
 pub use migration::{MigrationConfig, MigrationOutcome};

@@ -15,6 +15,7 @@
 //! Outcome metric: overload (load beyond capacity) integrated over the
 //! evaluation day.
 
+use edgescope_analysis::stats::peak_max;
 use edgescope_net::rng::log_normal_mean_cv;
 use edgescope_predict::holt_winters::HoltWinters;
 use rand::Rng;
@@ -90,14 +91,6 @@ pub struct PredictiveOutcome {
 
 /// Per-site capacity (percentage points of load).
 const CAPACITY: f64 = 100.0;
-
-/// Peak of a series, propagating NaN. `f64::max` silently *ignores* NaN
-/// operands, which would launder a poisoned forecast into a score of
-/// 0.0 — the most attractive site. Keeping the NaN makes the site lose
-/// the `total_cmp` minimum instead (NaN orders after +inf).
-fn nan_propagating_peak<I: Iterator<Item = f64>>(xs: I) -> f64 {
-    xs.fold(0.0, |acc, x| if acc.is_nan() || x.is_nan() { f64::NAN } else { acc.max(x) })
-}
 
 /// Generate one site's hourly background load: a diurnal bump with a
 /// per-site phase and level.
@@ -178,12 +171,10 @@ pub fn placement_outcomes(
                     let future = &sites[s][t_place..t_place + 24 - cfg.placement_hour % 24];
                     match policy {
                         ForecastPolicy::Reactive => sites[s][t_place] + placed[s],
-                        ForecastPolicy::HoltWinters => {
-                            nan_propagating_peak(forecasts[s].iter().cloned()) + placed[s]
-                        }
-                        ForecastPolicy::Oracle => {
-                            nan_propagating_peak(future.iter().cloned()) + placed[s]
-                        }
+                        // NaN-propagating peak: `f64::max` would launder a
+                        // poisoned forecast into the most attractive score.
+                        ForecastPolicy::HoltWinters => peak_max(&forecasts[s]) + placed[s],
+                        ForecastPolicy::Oracle => peak_max(future) + placed[s],
                     }
                 };
                 let best = (0..n_sites)

@@ -13,7 +13,9 @@ use crate::json::Json;
 use crate::query::Params;
 use crate::state::ServeState;
 use edgescope_analysis::stats::{mean, median, percentile};
-use edgescope_billing::bill::{cloud_network_month, nep_network_month, p95_daily_peak};
+use edgescope_billing::bill::{
+    cloud_network_month, nep_contended_network_month, nep_network_month, p95_daily_peak,
+};
 use edgescope_billing::tariff::{CloudTariff, NepTariff, NetworkModel, Operator};
 use edgescope_core::experiments::registry_for;
 use edgescope_core::experiments::table6::QOE_DISTANCES_KM;
@@ -21,6 +23,7 @@ use edgescope_net::access::AccessNetwork;
 use edgescope_net::path::TargetClass;
 use edgescope_net::rng::log_normal_mean_cv;
 use edgescope_obs as obs;
+use edgescope_platform::contention::Contention;
 use edgescope_platform::deployment::Deployment;
 use edgescope_platform::geo_china::{City, CITIES};
 use edgescope_qoe::gaming::GamingPipeline;
@@ -129,12 +132,35 @@ fn parse_deployment<'a>(
 ) -> Result<(&'static str, &'a Deployment, TargetClass), (u16, String)> {
     match p.get("deployment").unwrap_or("nep").to_ascii_lowercase().as_str() {
         "nep" => Ok(("nep", &state.scenario.nep, TargetClass::EdgeSite)),
+        "metroedge" => Ok(("metroedge", &state.metro_edge, TargetClass::EdgeSite)),
         "alicloud" => Ok(("alicloud", &state.scenario.alicloud, TargetClass::CloudRegion)),
         "huawei" => Ok(("huawei", &state.scenario.huawei, TargetClass::CloudRegion)),
-        other => {
-            Err((400, format!("unknown deployment '{other}'; valid: nep, alicloud, huawei")))
-        }
+        other => Err((
+            400,
+            format!("unknown deployment '{other}'; valid: nep, metroedge, alicloud, huawei"),
+        )),
     }
+}
+
+/// The `contention` (preset) and `density` (colocation) parameters
+/// shared by `/query/qoe` and `/query/bill`. Defaults (`off`, 0.0) are
+/// the identity: responses without the parameters are byte-identical to
+/// the pre-contention vocabulary's draws.
+fn parse_contention(p: &Params) -> Result<(&'static str, Contention, f64), (u16, String)> {
+    let raw = p.get("contention").unwrap_or("off").to_ascii_lowercase();
+    let (label, contention) = match raw.as_str() {
+        "off" => ("off", Contention::off()),
+        "moderate" => ("moderate", Contention::moderate()),
+        "heavy" => ("heavy", Contention::heavy()),
+        other => {
+            return Err((
+                400,
+                format!("unknown contention '{other}'; valid: off, moderate, heavy"),
+            ))
+        }
+    };
+    let density = p.fraction("density", 0.0).map_err(|e| (400, e))?;
+    Ok((label, contention, density))
 }
 
 fn parse_app(p: &Params) -> Result<AppCategory, (u16, String)> {
@@ -228,17 +254,21 @@ fn metrics(state: &ServeState, p: &Params) -> HandlerResult {
     Ok(state.metrics_json())
 }
 
-/// `GET /query/qoe?city=..&access=..&deployment=..&seed=..` — what QoE
-/// does a user in `city` see against `deployment`? Answers with the
-/// link profile to the nearest site, cloud-gaming and video-streaming
-/// pipeline latencies, and (when the latency study is loaded) the
-/// crowd's median nearest-edge RTT on the same access network as
-/// context.
+/// `GET /query/qoe?city=..&access=..&deployment=..&contention=..&density=..&seed=..`
+/// — what QoE does a user in `city` see against `deployment`? Answers
+/// with the link profile to the nearest site, cloud-gaming and
+/// video-streaming pipeline latencies, and (when the latency study is
+/// loaded) the crowd's median nearest-edge RTT on the same access
+/// network as context. `contention` (off/moderate/heavy) and `density`
+/// (colocation, 0–1) degrade the VM-side link through the same model
+/// the `ctn_*` experiments use; the defaults are the identity.
 fn qoe(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
-    p.check_allowed(&["city", "access", "deployment", "seed"]).map_err(|e| (400, e))?;
+    p.check_allowed(&["city", "access", "deployment", "contention", "density", "seed"])
+        .map_err(|e| (400, e))?;
     let city = find_city(p.required("city").map_err(|e| (400, e))?)?;
     let access = parse_access(p)?;
     let (dep_label, deployment, class) = parse_deployment(state, p)?;
+    let (ctn_label, contention, density) = parse_contention(p)?;
     let mut rng = state.request_rng(QOE_TAG, seed);
     obs::counter_inc("serve.qoe_queries");
 
@@ -257,7 +287,8 @@ fn qoe(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
         jitter_cv: 0.04,
         uplink_mbps: access.sample_uplink_mbps(&mut rng),
         downlink_mbps: access.sample_downlink_mbps(&mut rng),
-    };
+    }
+    .under_contention(contention.cpu_steal_factor(density), contention.bw_available(density));
     let (gaming_samples, _) = GamingPipeline::paper_default().run(&mut rng, &link, QOE_SAMPLES);
     let (streaming_samples, _) =
         StreamingPipeline::paper_default().run(&mut rng, &link, QOE_SAMPLES);
@@ -316,6 +347,15 @@ fn qoe(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
         ),
         ("crowd_median_nearest_edge_rtt_ms", crowd),
         ("edge_vm_distance_km", Json::F64(QOE_DISTANCES_KM[0].0)),
+        (
+            "contention",
+            Json::obj(vec![
+                ("preset", Json::from(ctn_label)),
+                ("density", Json::F64(density)),
+                ("cpu_steal_factor", Json::F64(contention.cpu_steal_factor(density))),
+                ("bw_available", Json::F64(contention.bw_available(density))),
+            ]),
+        ),
     ]))
 }
 
@@ -329,12 +369,17 @@ const BILL_INTERVAL_MIN: usize = 15;
 /// the two virtual clouds under all three network billing models?
 /// Synthesizes a 30-day bandwidth series from the app's diurnal profile
 /// (peak level `peak_mbps`, log-normal noise from the request RNG) and
-/// bills the identical series everywhere.
+/// bills the identical series everywhere. `contention` + `density`
+/// additionally throttle the series to the colocated fair share and
+/// report the NEP bill delta (bandwidth billing shrinks when neighbours
+/// eat the NIC — but so does the delivered traffic).
 fn bill(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
-    p.check_allowed(&["city", "app", "peak_mbps", "operator", "seed"]).map_err(|e| (400, e))?;
+    p.check_allowed(&["city", "app", "peak_mbps", "operator", "contention", "density", "seed"])
+        .map_err(|e| (400, e))?;
     let city = find_city(p.required("city").map_err(|e| (400, e))?)?;
     let app = parse_app(p)?;
     let (op_label, operator) = parse_operator(p)?;
+    let (ctn_label, contention, density) = parse_contention(p)?;
     let peak_mbps = p.positive_f64("peak_mbps", 500.0).map_err(|e| (400, e))?;
     let mut rng = state.request_rng(BILL_TAG, seed);
     obs::counter_inc("serve.bill_queries");
@@ -350,6 +395,15 @@ fn bill(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
 
     let nep_month =
         nep_network_month(&NepTariff::paper(), &series, BILL_INTERVAL_MIN, city.name, operator);
+    let contended = nep_contended_network_month(
+        &NepTariff::paper(),
+        &series,
+        BILL_INTERVAL_MIN,
+        city.name,
+        operator,
+        contention.bw_available(density),
+        1.0,
+    );
     let mut clouds = Vec::new();
     let mut cheapest_cloud = f64::INFINITY;
     for (platform, tariff) in
@@ -374,6 +428,17 @@ fn bill(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
         ("seed", Json::U64(seed as u64)),
         ("p95_daily_peak_mbps", Json::F64(p95_daily_peak(&series, BILL_INTERVAL_MIN))),
         ("nep_month_rmb", Json::F64(nep_month)),
+        (
+            "contention",
+            Json::obj(vec![
+                ("preset", Json::from(ctn_label)),
+                ("density", Json::F64(density)),
+                ("bw_available", Json::F64(contention.bw_available(density))),
+                ("nep_contended_rmb", Json::F64(contended.contended_rmb)),
+                ("nep_delta_rmb", Json::F64(contended.delta_rmb())),
+                ("delivered_fraction", Json::F64(contended.delivered_fraction)),
+            ]),
+        ),
         ("cloud_months_rmb", Json::arr(clouds)),
         // > 1 ⇒ the cheapest cloud model still costs more than NEP —
         // the Table 3 "edge is cheaper on network" direction.
@@ -381,13 +446,22 @@ fn bill(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
     ]))
 }
 
-/// `GET /query/placement?policy=..&k=..&budget_ms=..&total_rps=..&app=..&seed=..`
-/// — run one simulated day of geo-skewed demand against the NEP
-/// deployment under a scheduling policy and report the delay/balance
+/// `GET /query/placement?policy=..&k=..&budget_ms=..&total_rps=..&app=..&provider=..&seed=..`
+/// — run one simulated day of geo-skewed demand against an edge
+/// deployment (`provider`: `nep` default, or the synthetic consolidated
+/// `metroedge`) under a scheduling policy and report the delay/balance
 /// outcome (the `ext_gslb` experiment as an interactive query).
 fn placement(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
-    p.check_allowed(&["policy", "k", "budget_ms", "total_rps", "app", "seed"])
+    p.check_allowed(&["policy", "k", "budget_ms", "total_rps", "app", "provider", "seed"])
         .map_err(|e| (400, e))?;
+    let (provider_label, provider_dep) =
+        match p.get("provider").unwrap_or("nep").to_ascii_lowercase().as_str() {
+            "nep" => ("nep", &state.scenario.nep),
+            "metroedge" => ("metroedge", &state.metro_edge),
+            other => {
+                return Err((400, format!("unknown provider '{other}'; valid: nep, metroedge")))
+            }
+        };
     let k = p.positive_usize("k", 8).map_err(|e| (400, e))?;
     let budget_ms = p.positive_f64("budget_ms", 5.0).map_err(|e| (400, e))?;
     let total_rps = p.positive_f64("total_rps", 120_000.0).map_err(|e| (400, e))?;
@@ -413,9 +487,10 @@ fn placement(state: &ServeState, p: &Params, seed: u32) -> HandlerResult {
     obs::counter_inc("serve.placement_queries");
 
     let demand = DemandModel::new(&mut rng, app, total_rps, 0.8);
-    let out = simulate_day(&mut rng, &state.scenario.nep, &demand, policy, &SimConfig::default());
+    let out = simulate_day(&mut rng, provider_dep, &demand, policy, &SimConfig::default());
     Ok(Json::obj(vec![
         ("policy", Json::from(out.policy_label.clone())),
+        ("provider", Json::from(provider_label)),
         ("app", Json::from(app.label())),
         ("total_peak_rps", Json::F64(total_rps)),
         ("seed", Json::U64(seed as u64)),

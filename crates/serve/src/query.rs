@@ -114,6 +114,22 @@ impl Params {
         }
     }
 
+    /// An optional finite fraction in `[0, 1]` (NaN/inf/out-of-range are
+    /// all 400s) — the shape of the `density` contention knob.
+    pub fn fraction(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => {
+                let x: f64 =
+                    raw.parse().map_err(|_| format!("{name} '{raw}' must be a number"))?;
+                if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+                    return Err(format!("{name} '{raw}' must be a fraction in [0, 1]"));
+                }
+                Ok(x)
+            }
+        }
+    }
+
     /// An optional positive integer.
     pub fn positive_usize(&self, name: &str, default: usize) -> Result<usize, String> {
         match self.get(name) {
@@ -149,5 +165,14 @@ mod tests {
         let p = Params::parse("peak_mbps=NaN&seed=4294967296").unwrap();
         assert!(p.positive_f64("peak_mbps", 1.0).is_err());
         assert!(p.seed().is_err());
+    }
+
+    #[test]
+    fn fraction_bounds() {
+        let p = Params::parse("density=0.6&bad=1.5&worse=NaN").unwrap();
+        assert_eq!(p.fraction("density", 0.0).unwrap(), 0.6);
+        assert_eq!(p.fraction("absent", 0.25).unwrap(), 0.25);
+        assert!(p.fraction("bad", 0.0).is_err());
+        assert!(p.fraction("worse", 0.0).is_err());
     }
 }

@@ -1,8 +1,9 @@
 //! Shared immutable service state plus the per-endpoint metric store.
 
 use crate::json::Json;
-use edgescope_core::experiments::Studies;
+use edgescope_core::experiments::{contention, Studies};
 use edgescope_core::scenario::Scenario;
+use edgescope_platform::deployment::Deployment;
 use edgescope_net::rng::{domains, entity_tag, stream_rng};
 use edgescope_obs::MetricSet;
 use parking_lot::Mutex;
@@ -26,13 +27,19 @@ pub struct ServeState {
     pub scenario: Scenario,
     /// Studies built once at startup; unset fields answer `null`.
     pub studies: Studies,
+    /// The synthetic second provider's deployment (`provider=metroedge`),
+    /// built once at startup from the same deterministic builder the
+    /// `ctn_providers` experiment uses — server and experiment agree on
+    /// the world.
+    pub metro_edge: Deployment,
     metrics: Mutex<BTreeMap<&'static str, MetricSet>>,
 }
 
 impl ServeState {
     /// Wrap a scenario and its pre-built studies.
     pub fn new(scenario: Scenario, studies: Studies) -> Self {
-        ServeState { scenario, studies, metrics: Mutex::new(BTreeMap::new()) }
+        let metro_edge = contention::metro_edge_deployment(&scenario);
+        ServeState { scenario, studies, metro_edge, metrics: Mutex::new(BTreeMap::new()) }
     }
 
     /// The deterministic RNG for one request: derived from the world

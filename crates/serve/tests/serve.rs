@@ -141,6 +141,10 @@ fn unknown_inputs_are_structured_4xx() {
         ("/query/bill?city=Shanghai&app=mining", 400),        // unknown app
         ("/query/placement?policy=teleport", 400),            // unknown policy
         ("/query/placement?k=0", 400),
+        ("/query/placement?provider=aws", 400),               // unknown provider
+        ("/query/qoe?city=Shanghai&contention=extreme", 400), // unknown preset
+        ("/query/qoe?city=Shanghai&density=1.5", 400),        // density out of range
+        ("/query/bill?city=Shanghai&density=NaN", 400),       // NaN density
         ("/nope", 404),
     ];
     for (target, expect) in cases {
@@ -183,6 +187,53 @@ fn health_experiments_and_metrics_answer() {
     assert!(metrics.contains("\"endpoint\":\"qoe\""), "{metrics}");
     assert!(metrics.contains("serve.requests"), "{metrics}");
     assert!(metrics.contains("serve.response_bytes"), "{metrics}");
+}
+
+#[test]
+fn contention_defaults_are_the_identity() {
+    // Spelling out the default knobs must not change a single byte:
+    // `contention=off&density=0` is the identity transform and consumes
+    // no RNG.
+    let addr = spawn(2, state());
+    for (bare, explicit) in [
+        (
+            "/query/qoe?city=Shanghai&seed=4",
+            "/query/qoe?city=Shanghai&contention=off&density=0&seed=4",
+        ),
+        (
+            "/query/bill?city=Wuhan&seed=6",
+            "/query/bill?city=Wuhan&contention=off&density=0&seed=6",
+        ),
+    ] {
+        let (s1, a) = get(addr, bare);
+        let (s2, b) = get(addr, explicit);
+        assert_eq!((s1, s2), (200, 200), "{a} / {b}");
+        assert_eq!(a, b, "explicit identity knobs changed the body");
+    }
+}
+
+#[test]
+fn contention_and_provider_knobs_change_the_answer() {
+    let addr = spawn(2, state());
+    let (_, calm) = get(addr, "/query/qoe?city=Shanghai&seed=4");
+    let (status, packed) =
+        get(addr, "/query/qoe?city=Shanghai&contention=heavy&density=1&seed=4");
+    assert_eq!(status, 200, "{packed}");
+    assert_ne!(calm, packed, "heavy contention must degrade the QoE draws");
+    assert!(packed.contains("\"preset\":\"heavy\""), "{packed}");
+
+    let (status, body) = get(addr, "/query/qoe?city=Shanghai&deployment=metroedge&seed=4");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"deployment\":\"metroedge\""), "{body}");
+
+    let (status, bill) =
+        get(addr, "/query/bill?city=Wuhan&contention=moderate&density=0.8&seed=6");
+    assert_eq!(status, 200, "{bill}");
+    assert!(bill.contains("\"nep_contended_rmb\""), "{bill}");
+
+    let (status, placed) = get(addr, "/query/placement?provider=metroedge&seed=2");
+    assert_eq!(status, 200, "{placed}");
+    assert!(placed.contains("\"provider\":\"metroedge\""), "{placed}");
 }
 
 #[test]

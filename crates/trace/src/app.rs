@@ -206,8 +206,8 @@ mod tests {
     fn surveillance_nearly_flat() {
         let c = AppCategory::VideoSurveillance;
         let vals: Vec<f64> = (0..24).map(|h| c.diurnal(h as f64)).collect();
-        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
-        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = edgescope_analysis::stats::peak_max(&vals);
+        let min = edgescope_analysis::stats::peak_min(&vals);
         assert!(max / min < 1.3, "surveillance swing {max}/{min}");
     }
 

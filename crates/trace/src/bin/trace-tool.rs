@@ -100,7 +100,7 @@ fn inspect(dir: &Path) -> Result<(), String> {
     let (records, series) = load(dir)?;
     println!("{}: {} VMs", dir.display(), records.len());
     let median = |mut xs: Vec<f64>| -> f64 {
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         xs[xs.len() / 2]
     };
     let cores: Vec<f64> = records.iter().map(|r| r.cores as f64).collect();

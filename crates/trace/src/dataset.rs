@@ -210,7 +210,7 @@ impl TraceDataset {
             .iter()
             .map(|s| {
                 let mut xs: Vec<f64> = s.cpu_util_pct.iter().map(|&v| v as f64).collect();
-                xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                xs.sort_by(f64::total_cmp);
                 let rank = 0.95 * (xs.len() - 1) as f64;
                 xs[rank.round() as usize]
             })
@@ -366,7 +366,11 @@ impl TraceDataset {
             .into_iter()
             .map(|(a, idxs)| (a, idxs.iter().map(|&i| means[i]).sum()))
             .collect();
-        totals.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // NaN totals are demoted below every real volume: heaviest-first
+        // under the raw IEEE total order would rank NaN above +inf and
+        // hand a poisoned app a top-50 slot.
+        let key = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
+        totals.sort_by(|a, b| key(b.1).total_cmp(&key(a.1)));
         totals.into_iter().take(n).map(|(a, _)| a).collect()
     }
 }

@@ -311,8 +311,8 @@ mod tests {
             .chunks(per_week)
             .map(|w| w.iter().map(|&v| v as f64).sum::<f64>() / w.len() as f64)
             .collect();
-        let max = weekly.iter().cloned().fold(f64::MIN, f64::max);
-        let min = weekly.iter().cloned().fold(f64::MAX, f64::min);
+        let max = edgescope_analysis::stats::peak_max(&weekly);
+        let min = edgescope_analysis::stats::peak_min(&weekly);
         assert!(max / min > 1.3, "weekly levels {weekly:?}");
 
         // A stable VM's weekly levels stay close.
@@ -322,8 +322,8 @@ mod tests {
             .chunks(per_week)
             .map(|w| w.iter().map(|&v| v as f64).sum::<f64>() / w.len() as f64)
             .collect();
-        let max = weekly.iter().cloned().fold(f64::MIN, f64::max);
-        let min = weekly.iter().cloned().fold(f64::MAX, f64::min);
+        let max = edgescope_analysis::stats::peak_max(&weekly);
+        let min = edgescope_analysis::stats::peak_min(&weekly);
         assert!(max / min < 1.3, "stable weekly levels {weekly:?}");
     }
 

@@ -102,7 +102,7 @@ fn mean_of(xs: &[f32]) -> f64 {
 fn p95_of(xs: &[f32]) -> f64 {
     debug_assert!(!xs.is_empty(), "series are never empty");
     let mut v: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let rank = 0.95 * (v.len() - 1) as f64;
     v[rank.round() as usize]
 }

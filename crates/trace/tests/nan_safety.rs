@@ -1,0 +1,61 @@
+//! NaN regression tests for the trace aggregations swept in the
+//! `partial_cmp().unwrap()` → `f64::total_cmp` pass.
+//!
+//! Contract: a NaN CPU or bandwidth sample must neither panic an
+//! aggregation nor *win* a heaviest-first ranking; where an aggregate
+//! touches the poison, the NaN propagates (it is never laundered to 0).
+
+use edgescope_trace::{TraceConfig, TraceDataset};
+
+fn small_cfg() -> TraceConfig {
+    TraceConfig { days: 5, cpu_interval_min: 30, bw_interval_min: 60, start_weekday: 0 }
+}
+
+fn poisoned() -> TraceDataset {
+    let (mut ds, _) = TraceDataset::generate_nep(11, 12, 20, small_cfg());
+    assert!(ds.n_vms() > 2, "need VMs to poison");
+    ds.series[0].cpu_util_pct[1] = f32::NAN;
+    ds.series[0].bw_mbps[0] = f32::NAN;
+    ds
+}
+
+#[test]
+fn per_vm_aggregates_survive_nan_samples() {
+    let ds = poisoned();
+    // Sorting a NaN CPU series must not panic; the poisoned VM's own
+    // aggregates carry the NaN, every other VM stays finite.
+    let p95 = ds.p95_cpu_per_vm();
+    let means = ds.mean_cpu_per_vm();
+    let cvs = ds.cpu_cv_per_vm();
+    assert_eq!(p95.len(), ds.n_vms());
+    assert!(means[0].is_nan(), "mean must propagate the poisoned sample");
+    for i in 1..ds.n_vms() {
+        assert!(means[i].is_finite() && p95[i].is_finite() && cvs[i].is_finite(), "vm {i}");
+    }
+}
+
+#[test]
+fn heaviest_apps_demotes_nan_totals() {
+    let ds = poisoned();
+    let poisoned_app = ds.records[0].app;
+    let ranked = ds.heaviest_apps(ds.records.len());
+    assert!(!ranked.is_empty());
+    // The poisoned app's total is NaN: it must rank last, never first —
+    // under the raw IEEE total order it would have beaten every finite
+    // volume into the §4.5 top-50.
+    assert_ne!(ranked[0], poisoned_app, "NaN-volume app won the heaviest ranking");
+    assert_eq!(*ranked.last().unwrap(), poisoned_app, "NaN total must sort to the bottom");
+}
+
+#[test]
+fn site_aggregates_survive_nan_bandwidth() {
+    let ds = poisoned();
+    let site = ds.records[0].site;
+    // The site aggregate sums the poisoned VM in: NaN propagates to the
+    // affected sample instead of vanishing into the sum.
+    let series = ds.site_bw_series(site);
+    assert!(series[0].is_nan(), "site sum must carry the poison");
+    // Server/site rollups must not panic either.
+    let _ = ds.server_bw();
+    let _ = ds.site_bw();
+}

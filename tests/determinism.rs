@@ -366,6 +366,51 @@ fn dynamic_scenarios_are_worker_count_invariant() {
 }
 
 #[test]
+fn contention_experiments_are_worker_count_invariant() {
+    // The `ctn_*` experiments own the 0xc1a0–0xc1a5 tag block: links,
+    // worlds, crowds and per-cell QoE sampling all derive from
+    // `scenario.rng(tag)` streams, so `--jobs 1` and `--jobs 4` must be
+    // byte-identical — and preset `off` must report undegraded service
+    // at every density (the contention-off identity the pre-existing
+    // artefacts rely on).
+    let scenario = Scenario::new(Scale::Quick, 42);
+    let ctn_only = || {
+        edgescope::experiments::select_experiments(
+            registry(),
+            "ctn_qoe_density,ctn_placement,ctn_providers",
+        )
+        .expect("ctn_* names are in the registry")
+    };
+    assert_eq!(ctn_only().len(), 3, "all three contention studies are registered");
+    let serial = Executor::new(1).run(&scenario, ctn_only());
+    let parallel = Executor::new(4).run(&scenario, ctn_only());
+
+    let renders =
+        |e: &edgescope::Execution| e.reports.iter().map(|r| r.render()).collect::<Vec<_>>();
+    assert_eq!(renders(&serial), renders(&parallel), "ctn renders must be byte-identical");
+    let csvs = |e: &edgescope::Execution| {
+        e.reports.iter().flat_map(|r| r.csv.iter().cloned()).collect::<Vec<_>>()
+    };
+    assert_eq!(csvs(&serial), csvs(&parallel), "ctn CSVs must be byte-identical");
+
+    // The off-preset degraded curve is flat: the density knob must be
+    // invisible while contention is disabled.
+    let qoe = &serial.reports[0];
+    assert_eq!(qoe.id, "ctn_qoe_density");
+    let off_curve = &qoe.csv.iter().find(|(n, _)| n == "off_degraded_vs_density").expect("curve").1;
+    let degraded: Vec<&str> = off_curve
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(1).expect("xy row"))
+        .collect();
+    assert!(!degraded.is_empty());
+    assert!(
+        degraded.iter().all(|d| d == &degraded[0]),
+        "off preset must be density-invariant: {degraded:?}"
+    );
+}
+
+#[test]
 fn same_seed_same_reports() {
     let run = |seed| {
         let scenario = Scenario::new(Scale::Quick, seed);

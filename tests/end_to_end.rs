@@ -12,7 +12,7 @@ use edgescope::{Scale, Scenario};
 fn full_reproduction_runs_and_reports() {
     let scenario = Scenario::new(Scale::Quick, 1);
     let reports = run_all(&scenario);
-    assert_eq!(reports.len(), 36);
+    assert_eq!(reports.len(), 39);
     for r in &reports {
         let text = r.render();
         assert!(text.contains(r.id), "report {} must carry its id", r.id);
